@@ -1,0 +1,78 @@
+"""Figure 3: LoRA linear-layer throughput vs. the frozen linear layer.
+
+Paper claims: LoRA costs ~40% forward / ~36% backward throughput
+regardless of token count; torch.compile gives zero forward benefit and
+negligible backward benefit; rank (16 vs 32) barely matters.
+"""
+
+import pytest
+
+from benchmarks.common import fmt_row, write_table
+from repro.core import LoRAShape, lora_profiles
+from repro.gpu import H100, simulate_kernel_sequence
+
+TOKEN_SWEEP = (2560, 5120, 7680, 10240, 12800, 15360)
+N = K = 4096
+
+VARIANTS = [
+    ("Linear (frozen W)", "frozen", 16),
+    ("LoRA r=16", "torch", 16),
+    ("LoRA r=16 (compile)", "compile", 16),
+    ("LoRA r=32", "torch", 32),
+    ("LoRA r=32 (compile)", "compile", 32),
+]
+
+
+def throughput(strategy, rank, tokens, direction):
+    shape = LoRAShape(m=tokens, k=K, n=N, r=rank)
+    timeline = simulate_kernel_sequence(
+        lora_profiles(strategy, direction, shape), H100
+    )
+    return tokens / timeline.total_time / 1e6  # M tokens/s
+
+
+def sweep():
+    table = {}
+    for label, strategy, rank in VARIANTS:
+        for direction in ("forward", "backward"):
+            table[(label, direction)] = [
+                throughput(strategy, rank, t, direction) for t in TOKEN_SWEEP
+            ]
+    return table
+
+
+def test_fig03_lora_overhead(benchmark):
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [22, 9] + [8] * len(TOKEN_SWEEP)
+    lines = [
+        "Figure 3 -- throughput (M tokens/s) of a 4096x4096 linear on H100",
+        fmt_row(["variant", "pass"] + [f"{t//1024}K" for t in TOKEN_SWEEP],
+                widths),
+    ]
+    for (label, direction), values in table.items():
+        lines.append(
+            fmt_row([label, direction[:3]] + [f"{v:.1f}" for v in values],
+                    widths)
+        )
+    frozen_f = table[("Linear (frozen W)", "forward")][-1]
+    lora_f = table[("LoRA r=16", "forward")][-1]
+    frozen_b = table[("Linear (frozen W)", "backward")][-1]
+    lora_b = table[("LoRA r=16", "backward")][-1]
+    fwd_slowdown = 1 - lora_f / frozen_f
+    bwd_slowdown = 1 - lora_b / frozen_b
+    lines += [
+        "",
+        f"forward slowdown : paper ~40%   measured {fwd_slowdown:.0%}",
+        f"backward slowdown: paper ~36%   measured {bwd_slowdown:.0%}",
+    ]
+    write_table("fig03_lora_overhead", lines)
+
+    assert 0.30 <= fwd_slowdown <= 0.45
+    assert 0.28 <= bwd_slowdown <= 0.45
+    # compile: zero forward benefit, <5% backward benefit.
+    assert table[("LoRA r=16 (compile)", "forward")][-1] == pytest.approx(lora_f)
+    compile_b = table[("LoRA r=16 (compile)", "backward")][-1]
+    assert 1.0 <= compile_b / lora_b < 1.05
+    # rank 32 within 3% of rank 16.
+    r32 = table[("LoRA r=32", "forward")][-1]
+    assert abs(r32 - lora_f) / lora_f < 0.03

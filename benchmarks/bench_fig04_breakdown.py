@@ -1,0 +1,63 @@
+"""Figure 4: runtime breakdown of one LoRA linear (n=k=4096, r=16, 8K tokens).
+
+Paper values (fractions of pass time): forward X@W 59%, Dropout 19%,
+X@A 6%, S@B 5%, MulAdd 12%; backward Mul 8%, S.T@dY 6%, dY@B 4%,
+X.T@dS 5%, dS@A 6%, dY@W 60%, DropoutBwd 12%.
+"""
+
+from benchmarks.common import fmt_row, write_table
+from repro.core import LoRAShape, lora_profiles
+from repro.gpu import H100, simulate_kernel_sequence
+
+SHAPE = LoRAShape(m=8192, k=4096, n=4096, r=16)
+
+PAPER_FORWARD = {
+    "gemm_xw": 0.59, "dropout": 0.19, "gemm_xa": 0.06, "gemm_sb": 0.05,
+    "muladd": 0.12,
+}
+PAPER_BACKWARD = {
+    "mul": 0.08, "gemm_s_dy": 0.06, "gemm_dy_b": 0.04, "gemm_x_ds": 0.05,
+    "gemm_ds_a": 0.06, "gemm_dy_w": 0.60, "dropout_bwd_add": 0.12,
+}
+
+
+def breakdown(direction):
+    timeline = simulate_kernel_sequence(
+        lora_profiles("torch", direction, SHAPE), H100
+    )
+    return timeline.breakdown_fractions("name"), timeline.total_time
+
+
+def both():
+    return breakdown("forward"), breakdown("backward")
+
+
+def test_fig04_breakdown(benchmark):
+    (fwd, fwd_total), (bwd, bwd_total) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    widths = [18, 10, 10]
+    lines = [
+        "Figure 4 -- Torch LoRA runtime breakdown (m=8192, k=n=4096, r=16)",
+        f"forward total: {fwd_total*1e6:.0f} us (paper ~600 us)",
+        fmt_row(["kernel", "paper", "measured"], widths),
+    ]
+    for name, paper in PAPER_FORWARD.items():
+        lines.append(fmt_row([name, f"{paper:.0%}", f"{fwd.get(name, 0):.0%}"],
+                             widths))
+    lines.append(f"backward total: {bwd_total*1e6:.0f} us (paper ~600 us)")
+    for name, paper in PAPER_BACKWARD.items():
+        lines.append(fmt_row([name, f"{paper:.0%}", f"{bwd.get(name, 0):.0%}"],
+                             widths))
+    write_table("fig04_breakdown", lines)
+
+    # Shape checks: base GEMM dominates at ~60%; dropout is the biggest
+    # non-GEMM forward cost; every paper kernel appears.
+    assert abs(fwd["gemm_xw"] - 0.59) < 0.08
+    assert abs(bwd["gemm_dy_w"] - 0.60) < 0.08
+    assert abs(fwd["dropout"] - 0.19) < 0.06
+    assert set(PAPER_FORWARD) <= set(fwd)
+    assert set(PAPER_BACKWARD) <= set(bwd)
+    # Absolute totals in the paper's ballpark (hundreds of microseconds).
+    assert 400e-6 < fwd_total < 900e-6
+    assert 400e-6 < bwd_total < 900e-6

@@ -1,0 +1,58 @@
+"""Figure 5: ideal throughput of LLaMa-70B on 4 H100s vs. global batch size.
+
+Uniform fixed-length samples ("ideal" = no imbalance).  Paper: growing GBS
+4 -> 32 lifts throughput 1.84x under FSDP and 1.45x under PP.
+"""
+
+from benchmarks.common import fmt_row, h100_cluster, write_table
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.distsim import run_megatron_fsdp, run_megatron_pp
+from repro.models import LLAMA3_70B
+from repro.scheduler import AdapterJob
+
+SEQ_LEN = 1024
+GBS_SWEEP = (4, 8, 16, 32)
+
+
+def uniform_job(gbs, batches=2):
+    samples = [Sample(0, i, SEQ_LEN) for i in range(gbs * batches)]
+    return [AdapterJob(0, FinetuneDataset(0, samples), gbs)]
+
+
+def sweep():
+    cluster = h100_cluster(4)
+    fsdp, pp = {}, {}
+    for gbs in GBS_SWEEP:
+        jobs = uniform_job(gbs)
+        fsdp[gbs] = run_megatron_fsdp(jobs, LLAMA3_70B, cluster).tokens_per_second
+        pp[gbs] = run_megatron_pp(
+            jobs, LLAMA3_70B, cluster, capacity=16384, microbatch_samples=1
+        ).tokens_per_second
+    return fsdp, pp
+
+
+def test_fig05_ideal_gbs(benchmark):
+    fsdp, pp = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [6, 14, 10, 14, 10]
+    lines = [
+        "Figure 5 -- ideal LLaMa-70B throughput on 4xH100 vs global batch size",
+        fmt_row(["GBS", "FSDP tok/s", "speedup", "PP tok/s", "speedup"],
+                widths),
+    ]
+    for gbs in GBS_SWEEP:
+        lines.append(fmt_row([
+            gbs, f"{fsdp[gbs]:.0f}", f"{fsdp[gbs]/fsdp[4]:.2f}x",
+            f"{pp[gbs]:.0f}", f"{pp[gbs]/pp[4]:.2f}x",
+        ], widths))
+    lines += [
+        "",
+        f"paper: FSDP 1.84x, PP 1.45x at GBS=32; "
+        f"measured: FSDP {fsdp[32]/fsdp[4]:.2f}x, PP {pp[32]/pp[4]:.2f}x",
+    ]
+    write_table("fig05_ideal_gbs", lines)
+
+    # Both systems improve monotonically with GBS; gains in a sane band.
+    assert fsdp[4] < fsdp[8] < fsdp[16] < fsdp[32]
+    assert pp[4] < pp[8] < pp[16] < pp[32]
+    assert 1.2 <= fsdp[32] / fsdp[4] <= 2.4
+    assert 1.2 <= pp[32] / pp[4] <= 2.0

@@ -1,0 +1,53 @@
+"""Figure 6: tokens per microbatch at a fixed microbatch size of 4 samples.
+
+Paper: CNN/DailyMail and especially the Mix dataset show wild variation
+(roughly 2K-8K tokens per microbatch), the root of the load imbalance.
+"""
+
+import numpy as np
+
+from benchmarks.common import fmt_row, write_table
+from repro.data import get_distribution, onthefly_microbatches
+
+MBS = 4
+NUM_MICROBATCHES = 40
+
+
+def microbatch_tokens(dataset):
+    rng = np.random.default_rng(13)
+    lengths = get_distribution(dataset).sample(MBS * NUM_MICROBATCHES, rng)
+    return [sum(mb) for mb in onthefly_microbatches(list(lengths), MBS)]
+
+
+def both():
+    return {name: microbatch_tokens(name)
+            for name in ("cnn_dailymail", "mixed")}
+
+
+def test_fig06_microbatch_variance(benchmark):
+    series = benchmark.pedantic(both, rounds=1, iterations=1)
+    widths = [14, 8, 8, 8, 8]
+    lines = [
+        f"Figure 6 -- tokens per microbatch (microbatch size = {MBS})",
+        fmt_row(["dataset", "min", "mean", "max", "std"], widths),
+    ]
+    stats = {}
+    for name, totals in series.items():
+        arr = np.asarray(totals)
+        stats[name] = arr
+        lines.append(fmt_row(
+            [name, arr.min(), f"{arr.mean():.0f}", arr.max(),
+             f"{arr.std():.0f}"], widths))
+    ratio_cnn = stats["cnn_dailymail"].max() / stats["cnn_dailymail"].min()
+    ratio_mix = stats["mixed"].max() / stats["mixed"].min()
+    lines += [
+        "",
+        f"max/min spread: CNN/DailyMail {ratio_cnn:.1f}x, Mix {ratio_mix:.1f}x "
+        "(paper shows ~2-4x spread, larger for Mix)",
+    ]
+    write_table("fig06_microbatch_variance", lines)
+
+    # Substantial variation, larger on the mixture.
+    assert ratio_cnn > 1.3
+    assert ratio_mix > ratio_cnn
+    assert stats["mixed"].std() > stats["cnn_dailymail"].std()

@@ -1,0 +1,48 @@
+"""Figure 13: sample-length distributions of the three datasets.
+
+Paper: XSum mean ~500, CNN/DailyMail ~900, WikiSum ~2200 with a long tail;
+the curves motivate both the packing benches and the Het workload.
+"""
+
+import numpy as np
+
+from benchmarks.common import fmt_row, write_table
+from repro.data import CNN_DAILYMAIL, WIKISUM, XSUM
+
+N = 20000
+
+
+def sample_stats():
+    stats = {}
+    for dist in (XSUM, CNN_DAILYMAIL, WIKISUM):
+        lengths = dist.sample(N, np.random.default_rng(23))
+        stats[dist.name] = {
+            "mean": lengths.mean(),
+            "p10": np.percentile(lengths, 10),
+            "p50": np.percentile(lengths, 50),
+            "p90": np.percentile(lengths, 90),
+            "max": lengths.max(),
+        }
+    return stats
+
+
+def test_fig13_datasets(benchmark):
+    stats = benchmark.pedantic(sample_stats, rounds=1, iterations=1)
+    widths = [15, 8, 8, 8, 8, 8]
+    lines = [
+        "Figure 13 -- dataset length distributions (20K synthetic samples)",
+        fmt_row(["dataset", "mean", "p10", "p50", "p90", "max"], widths),
+    ]
+    for name, s in stats.items():
+        lines.append(fmt_row(
+            [name] + [f"{s[k]:.0f}" for k in ("mean", "p10", "p50", "p90",
+                                              "max")], widths))
+    lines.append("")
+    lines.append("paper means: XSum ~500, CNN/DailyMail ~900, WikiSum ~2200")
+    write_table("fig13_datasets", lines)
+
+    assert 380 <= stats["XSum"]["mean"] <= 560
+    assert 750 <= stats["CNN/DailyMail"]["mean"] <= 1050
+    assert 1700 <= stats["WikiSum"]["mean"] <= 2600
+    # WikiSum's tail reaches the 4K+ region shown in the figure.
+    assert stats["WikiSum"]["p90"] > 3000

@@ -1,0 +1,72 @@
+"""Figure 17: FusedLoRA / FusedMultiLoRA kernel throughput vs Torch LoRA.
+
+Paper claims (C2): FusedLoRA averages 1.27x (up to 1.39x); FusedMultiLoRA
+averages 1.17x (up to 1.24x); the multi variant's extra cost sits in the
+backward pass (gradient accumulation across adapters).
+"""
+
+from benchmarks.common import fmt_row, write_table
+from repro.core import LoRAShape, lora_profiles
+from repro.gpu import H100, simulate_kernel_sequence
+
+TOKENS = (2048, 4096, 6144, 8192)
+DIMS = (4096, 5120, 8192)
+
+
+def pass_time(strategy, m, d, num_adapters=1):
+    shape = LoRAShape(m=m, k=d, n=d, r=16, num_adapters=num_adapters)
+    total = 0.0
+    for direction in ("forward", "backward"):
+        total += simulate_kernel_sequence(
+            lora_profiles(strategy, direction, shape), H100
+        ).total_time
+    return total
+
+
+def sweep():
+    speedups = {}
+    for d in DIMS:
+        for m in TOKENS:
+            torch = pass_time("torch", m, d)
+            speedups[("fused", d, m)] = torch / pass_time("fused", m, d)
+            speedups[("multi", d, m)] = torch / pass_time(
+                "fused_multi", m, d, num_adapters=4)
+    return speedups
+
+
+def test_fig17_kernel_perf(benchmark):
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [10, 8] + [8] * len(TOKENS)
+    lines = [
+        "Figure 17 -- fused kernel speedup over Torch LoRA (fwd+bwd, H100)",
+        fmt_row(["kernel", "N=K"] + [str(t) for t in TOKENS], widths),
+    ]
+    for kernel in ("fused", "multi"):
+        for d in DIMS:
+            lines.append(fmt_row(
+                [kernel, d]
+                + [f"{speedups[(kernel, d, m)]:.2f}x" for m in TOKENS],
+                widths))
+    fused_values = [v for (k, _, _), v in speedups.items() if k == "fused"]
+    multi_values = [v for (k, _, _), v in speedups.items() if k == "multi"]
+    avg_fused = sum(fused_values) / len(fused_values)
+    avg_multi = sum(multi_values) / len(multi_values)
+    lines += [
+        "",
+        f"FusedLoRA      avg {avg_fused:.2f}x max {max(fused_values):.2f}x "
+        "(paper: 1.27x avg, 1.39x max)",
+        f"FusedMultiLoRA avg {avg_multi:.2f}x max {max(multi_values):.2f}x "
+        "(paper: 1.17x avg, 1.24x max)",
+    ]
+    write_table("fig17_kernel_perf", lines)
+
+    assert 1.15 <= avg_fused <= 1.45
+    assert 1.05 <= avg_multi <= 1.40
+    assert avg_multi < avg_fused  # multi pays the gradient-routing tax
+    assert all(v > 1.0 for v in fused_values + multi_values)
+    # Speedup shrinks at the largest base dim (base GEMM dominates).
+    fused_by_dim = {
+        d: sum(speedups[("fused", d, m)] for m in TOKENS) / len(TOKENS)
+        for d in DIMS
+    }
+    assert fused_by_dim[8192] < fused_by_dim[4096]

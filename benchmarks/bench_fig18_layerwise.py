@@ -1,0 +1,73 @@
+"""Figure 18: fused-kernel speedup at decoder-layer granularity.
+
+The layer includes attention, norms, rotary, and residuals that fusion
+does not touch, so the speedup dilutes relative to Figure 17.  Paper:
+FusedLoRA 1.21x average (up to 1.30x); FusedMultiLoRA 1.13x (up to 1.17x).
+"""
+
+from benchmarks.common import fmt_row, write_table
+from repro.gpu import H100
+from repro.models import LLAMA3_70B, LLAMA3_8B, QWEN25_32B, LayerCostModel
+from repro.models.layer_costs import MicrobatchShape
+
+BATCH_SIZES = (4, 8, 12, 16, 20)
+SEQ_LEN = 512
+MODELS = {m.name: m for m in (LLAMA3_8B, QWEN25_32B, LLAMA3_70B)}
+
+
+def layer_pass_time(model, strategy, batch_size, num_adapters=1):
+    cost = LayerCostModel(model, H100, strategy=strategy)
+    shape = MicrobatchShape.from_lengths([SEQ_LEN] * batch_size,
+                                         num_adapters=num_adapters)
+    return (cost.layer_time(shape, "forward")
+            + cost.layer_time(shape, "backward"))
+
+
+def sweep():
+    speedups = {}
+    for name, model in MODELS.items():
+        for bs in BATCH_SIZES:
+            torch = layer_pass_time(model, "torch", bs)
+            speedups[("fused", name, bs)] = torch / layer_pass_time(
+                model, "fused", bs)
+            speedups[("multi", name, bs)] = torch / layer_pass_time(
+                model, "fused_multi", bs, num_adapters=4)
+    return speedups
+
+
+def test_fig18_layerwise(benchmark):
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [8, 14] + [7] * len(BATCH_SIZES)
+    lines = [
+        f"Figure 18 -- decoder-layer speedup (seq len {SEQ_LEN}, fwd+bwd)",
+        fmt_row(["kernel", "model"] + [f"bs{b}" for b in BATCH_SIZES], widths),
+    ]
+    for kernel in ("fused", "multi"):
+        for name in MODELS:
+            lines.append(fmt_row(
+                [kernel, name.split("-")[0] + name[-4:]]
+                + [f"{speedups[(kernel, name, b)]:.2f}" for b in BATCH_SIZES],
+                widths))
+    fused = [v for (k, _, _), v in speedups.items() if k == "fused"]
+    multi = [v for (k, _, _), v in speedups.items() if k == "multi"]
+    avg_fused, avg_multi = sum(fused) / len(fused), sum(multi) / len(multi)
+    lines += [
+        "",
+        f"FusedLoRA layer-wise  avg {avg_fused:.2f}x max {max(fused):.2f}x "
+        "(paper: 1.21x avg, 1.30x max)",
+        f"FusedMultiLoRA layer  avg {avg_multi:.2f}x max {max(multi):.2f}x "
+        "(paper: 1.13x avg, 1.17x max)",
+    ]
+    write_table("fig18_layerwise", lines)
+
+    assert 1.10 <= avg_fused <= 1.40
+    assert 1.05 <= avg_multi <= 1.30
+    assert avg_multi < avg_fused
+    # Layer-level gains are diluted versus the kernel-level Figure 17.
+    from benchmarks.bench_fig17_kernel_perf import sweep as kernel_sweep
+
+    kernel = kernel_sweep()
+    kernel_avg = sum(
+        v for (k, _, _), v in kernel.items() if k == "fused"
+    ) / 12
+    assert avg_fused <= kernel_avg + 0.02

@@ -1,0 +1,62 @@
+"""Figure 21: scheduler tuning time vs. number of samples.
+
+Paper: scheduling cost grows linearly (~4 ms/sample on their 64-vCPU
+box, 38s at 640 samples to 102s at 25600 with multiprocessing) and stays
+an order of magnitude below GPU computation time, so it hides behind
+training of the previous global batch.  We sweep smaller sample counts
+(pure-Python MILP setup is slower per sample) and check both properties:
+near-linear scaling and computation >> tuning.
+"""
+
+from benchmarks.common import fmt_row, h100_cluster, make_jobs, write_table
+from repro.distsim import run_lorafusion
+from repro.models import LLAMA3_70B
+from repro.scheduler import MultiLoRAScheduler, SchedulerConfig
+
+SAMPLE_SWEEP = (40, 80, 160, 320)
+CAPACITY = 8192
+
+
+def tune_and_simulate(samples_per_job):
+    jobs = make_jobs(["mixed"] * 4, samples=samples_per_job, gbs=8)
+    config = SchedulerConfig(capacity=CAPACITY, num_stages=4, use_milp=True,
+                             milp_timeout=0.1)
+    schedule = MultiLoRAScheduler(jobs, config).schedule()
+    report = run_lorafusion(jobs, LLAMA3_70B, h100_cluster(4),
+                            scheduler_config=config, capacity=CAPACITY)
+    return schedule.stats["tuning_seconds"], report.total_time
+
+
+def sweep():
+    return {n: tune_and_simulate(n) for n in SAMPLE_SWEEP}
+
+
+def test_fig21_tuning_time(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [10, 12, 16, 10]
+    lines = [
+        "Figure 21 -- scheduler tuning time vs workload size (4 adapters)",
+        fmt_row(["samples", "tuning (s)", "GPU compute (s)", "ratio"],
+                widths),
+    ]
+    for n, (tuning, compute) in data.items():
+        total = 4 * n
+        lines.append(fmt_row(
+            [total, f"{tuning:.2f}", f"{compute:.1f}",
+             f"{compute/tuning:.0f}x"], widths))
+    first, last = SAMPLE_SWEEP[0], SAMPLE_SWEEP[-1]
+    growth = data[last][0] / data[first][0]
+    lines += [
+        "",
+        f"tuning time grew {growth:.1f}x for an 8x workload increase "
+        "(paper: near-linear scaling)",
+        "computation time exceeds tuning time throughout, so scheduling "
+        "hides behind GPU execution of the previous batch",
+    ]
+    write_table("fig21_tuning_time", lines)
+
+    # Near-linear: an 8x workload costs between 2x and 16x tuning time.
+    assert 2.0 <= growth <= 16.0
+    # Scheduling stays well below simulated GPU time at every size.
+    for tuning, compute in data.values():
+        assert compute > 2 * tuning

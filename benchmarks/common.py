@@ -1,0 +1,54 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper's evaluation:
+it computes the figure's series with this repository's models/simulators,
+prints a paper-vs-measured table, writes it under ``benchmarks/results/``,
+and wraps the core computation in pytest-benchmark for timing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.data import synthetic_dataset
+from repro.distsim import ClusterSpec
+from repro.gpu import H100
+from repro.scheduler import AdapterJob
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Standard 4-adapter workloads of Section 6.1.
+DATASET_SETTINGS = {
+    "XSUM": ["xsum"] * 4,
+    "CNNDM": ["cnn_dailymail"] * 4,
+    "WikiSum": ["wikisum"] * 4,
+    "Mixed": ["mixed"] * 4,
+    "Het": ["xsum", "cnn_dailymail", "wikisum", "mixed"],
+}
+
+
+def make_jobs(datasets, samples=16, gbs=8, seed=11):
+    """Four fine-tuning jobs with the given per-adapter datasets."""
+    return [
+        AdapterJob(a, synthetic_dataset(a, name, samples, seed=seed), gbs)
+        for a, name in enumerate(datasets)
+    ]
+
+
+def h100_cluster(num_gpus):
+    """An H100 cluster of the given size."""
+    return ClusterSpec(gpu=H100, num_gpus=num_gpus)
+
+
+def write_table(name: str, lines: list[str]) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_row(cells, widths):
+    """Fixed-width table row."""
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

@@ -1,0 +1,53 @@
+"""Explore the kernel-level design space of Figure 9.
+
+Compares the three fusion strategies the paper considers for the LoRA
+forward pass -- full fusion with recomputation, full fusion with
+inter-block synchronisation, and the chosen split-graph fusion -- plus the
+unfused baseline, across GPUs with different machine balances.  Shows why
+split-graph fusion wins and why the win grows on compute-rich hardware.
+
+Run:  python examples/kernel_cost_explorer.py
+"""
+
+from repro.core import LoRAShape, lora_profiles
+from repro.core.traffic import (
+    full_fusion_recompute_forward,
+    full_fusion_sync_forward,
+)
+from repro.gpu import get_gpu, simulate_kernel_sequence
+
+
+def forward_time(profiles, gpu):
+    return simulate_kernel_sequence(profiles, gpu).total_time * 1e6
+
+
+def main() -> None:
+    shape = LoRAShape(m=8192, k=4096, n=4096, r=16)
+    strategies = {
+        "unfused (Torch LoRA)": lora_profiles("torch", "forward", shape),
+        "full fusion + recompute": full_fusion_recompute_forward(shape),
+        "full fusion + sync": full_fusion_sync_forward(shape),
+        "split-graph (FusedLoRA)": lora_profiles("fused", "forward", shape),
+    }
+    gpus = ["h100", "a100-sxm", "l40s", "rtx3090"]
+
+    header = f"{'forward strategy':<26}" + "".join(f"{g:>11}" for g in gpus)
+    print(header)
+    print("-" * len(header))
+    for name, profiles in strategies.items():
+        row = f"{name:<26}"
+        for key in gpus:
+            row += f"{forward_time(profiles, get_gpu(key)):>10.0f}u"
+        print(row)
+
+    print("\nspeedup of split-graph fusion over the unfused baseline:")
+    for key in gpus:
+        gpu = get_gpu(key)
+        speedup = (forward_time(strategies["unfused (Torch LoRA)"], gpu)
+                   / forward_time(strategies["split-graph (FusedLoRA)"], gpu))
+        print(f"  {gpu.name:<32} {speedup:.2f}x "
+              f"(machine balance {gpu.machine_balance():.0f} flop/byte)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: the FusedLoRA kernel as a drop-in LoRA layer replacement.
+
+Builds one LoRA linear layer three ways -- unfused reference ("Torch
+LoRA"), FusedLoRA, and FusedMultiLoRA with two adapters -- verifies they
+produce identical numerics, and reports what each strategy would cost on
+an H100 (kernel launches, DRAM traffic, roofline time).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    LoRAConfig,
+    LoRALinear,
+    LoRAShape,
+    lora_profiles,
+    pack_segments,
+    total_traffic,
+)
+from repro.gpu import H100, simulate_kernel_sequence
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    k, n, tokens = 64, 48, 256
+    w = rng.standard_normal((k, n)) / np.sqrt(k)
+    x = rng.standard_normal((tokens, k))
+
+    # --- numerics: torch vs fused are bit-identical -----------------------
+    outputs = {}
+    for strategy in ("torch", "fused"):
+        layer = LoRALinear(w, strategy=strategy, rng=np.random.default_rng(1))
+        layer.add_adapter(LoRAConfig(rank=8, alpha=2.0, dropout=0.0,
+                                     adapter_id=0))
+        layer.adapters[0].b[:] = rng.standard_normal((8, n)) * 0.1
+        outputs[strategy] = layer.forward(x)
+    diff = np.abs(outputs["torch"] - outputs["fused"]).max()
+    print(f"max |torch - fused| output difference: {diff:.2e}")
+
+    # --- multi-adapter batch through one fused kernel ---------------------
+    layer = LoRALinear(w, strategy="fused_multi", rng=np.random.default_rng(1))
+    for adapter_id, rank in ((0, 8), (1, 4)):
+        layer.add_adapter(LoRAConfig(rank=rank, alpha=1.0, dropout=0.0,
+                                     adapter_id=adapter_id))
+    x0, x1 = x[:150], x[150:]
+    packed, batch, views = pack_segments([(0, x0), (1, x1)], block_m=64)
+    y = layer.forward_multi(packed, batch)
+    grads = layer.backward_multi(np.ones_like(y))
+    print(f"multi-LoRA batch: {batch.num_tiles} tiles, adapters "
+          f"{batch.adapter_ids}, grads routed to {sorted(grads.da)}")
+
+    # --- what this costs on a real GPU ------------------------------------
+    shape = LoRAShape(m=8192, k=4096, n=4096, r=16)
+    print("\nH100 cost model for one 4096x4096 LoRA linear, 8K tokens:")
+    print(f"{'strategy':<12} {'kernels':>8} {'DRAM (MB)':>10} {'fwd+bwd (us)':>13}")
+    for strategy in ("torch", "fused", "fused_multi"):
+        profiles = [p for d in ("forward", "backward")
+                    for p in lora_profiles(strategy, d, shape)]
+        time_us = simulate_kernel_sequence(profiles, H100).total_time * 1e6
+        print(f"{strategy:<12} {len(profiles):>8} "
+              f"{total_traffic(profiles)/1e6:>10.0f} {time_us:>13.0f}")
+
+
+if __name__ == "__main__":
+    main()

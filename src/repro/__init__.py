@@ -1,0 +1,9 @@
+"""LoRAFusion reproduction: efficient LoRA fine-tuning for LLMs.
+
+A from-scratch Python implementation of the LoRAFusion system (EUROSYS '26):
+fused LoRA kernels, multi-LoRA scheduling, and a distributed-training
+simulator standing in for the paper's GPU testbed.  See README.md for a
+quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"

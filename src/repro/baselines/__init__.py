@@ -1,0 +1,5 @@
+"""Baseline implementations the paper compares against."""
+
+from repro.baselines.sequential import train_job_sequentially
+
+__all__ = ["train_job_sequentially"]

@@ -1,0 +1,70 @@
+"""Sequential single-job training: the numeric reference for losslessness.
+
+This is what Megatron-LM does for multi-LoRA workloads: train each job on
+its own, one after another.  It is the ground truth the scheduled
+multi-LoRA engine must match -- per adapter, identical loss trajectories
+and identical final parameters (up to float summation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.transformer import PackedBatch, TinyLoRATransformer
+from repro.runtime.engine import NumericJob, TrainResult
+from repro.runtime.optimizer import AdamWConfig, AdapterOptimizer
+
+__all__ = ["train_job_sequentially"]
+
+
+def train_job_sequentially(
+    model: TinyLoRATransformer,
+    job: NumericJob,
+    optimizer_config: AdamWConfig | None = None,
+    microbatch_samples: int = 1,
+) -> TrainResult:
+    """Train one job alone, global batch by global batch.
+
+    Args:
+        model: Shared-base transformer; the job's adapter is added if
+            missing.
+        job: The numeric job to train.
+        optimizer_config: AdamW hyper-parameters.
+        microbatch_samples: Samples per microbatch (gradient accumulation
+            granularity; any value yields the same updates up to float
+            summation order).
+
+    Returns:
+        Per-batch losses and step counts for the job's adapter.
+    """
+    if job.adapter_id not in model.adapters:
+        model.add_adapter(job.lora)
+    optimizer = AdapterOptimizer(
+        model.adapter_state(job.adapter_id), optimizer_config or AdamWConfig()
+    )
+    result = TrainResult(losses={job.adapter_id: []},
+                         steps={job.adapter_id: 0})
+    params = model.adapter_state(job.adapter_id)
+    for batch_index in range(job.num_global_batches()):
+        indices = job.batch_indices(batch_index)
+        denom = job.batch_predicted_tokens(batch_index)
+        accumulated = {
+            key: {"a": np.zeros_like(w.a), "b": np.zeros_like(w.b)}
+            for key, w in params.items()
+        }
+        batch_loss = 0.0
+        for lo in range(0, len(indices), microbatch_samples):
+            chunk = indices[lo : lo + microbatch_samples]
+            samples = [(job.adapter_id, job.token_streams[i]) for i in chunk]
+            weights = [1.0 / denom if denom else 0.0] * len(samples)
+            packed = PackedBatch.from_samples(samples, weights)
+            _, per_sample, grads = model.loss_and_grads(packed)
+            batch_loss += sum(per_sample)
+            result.microbatches_executed += 1
+            for key, grad in grads[job.adapter_id].items():
+                accumulated[key]["a"] += grad["a"]
+                accumulated[key]["b"] += grad["b"]
+        optimizer.step(accumulated)
+        result.losses[job.adapter_id].append(batch_loss)
+        result.steps[job.adapter_id] = batch_index + 1
+    return result

@@ -1,0 +1,105 @@
+"""Kernel-level contribution of the paper: FusedLoRA and FusedMultiLoRA.
+
+Layout:
+
+* :mod:`repro.core.lora` -- LoRA math and the unfused reference path.
+* :mod:`repro.core.fused` -- the split-graph FusedLoRA kernels (Figure 10).
+* :mod:`repro.core.multi` -- FusedMultiLoRA tile routing (Figure 11).
+* :mod:`repro.core.traffic` -- analytical DRAM-traffic/kernel-profile model.
+* :mod:`repro.core.module` -- the plug-and-play ``LoRALinear`` layer.
+"""
+
+from repro.core.fused import (
+    fused_dropout_matmul,
+    fused_dys_dyb,
+    fused_dyw_dsa,
+    fused_lora_backward,
+    fused_lora_forward,
+    fused_xw_sb,
+    matmul_da,
+)
+from repro.core.lora import (
+    LoRAConfig,
+    LoRAContext,
+    LoRAGrads,
+    LoRAWeights,
+    frozen_linear_backward,
+    frozen_linear_forward,
+    init_lora_weights,
+    lora_backward_reference,
+    lora_forward_reference,
+)
+from repro.core.module import LoRALinear, TrafficLedger
+from repro.core.multi import (
+    PAD_ADAPTER_ID,
+    MultiLoRABatch,
+    MultiLoRAContext,
+    MultiLoRAGrads,
+    Segment,
+    build_tile_table,
+    fused_multi_lora_backward,
+    fused_multi_lora_forward,
+    pack_segments,
+)
+from repro.core.variants import (
+    QuantizedWeight,
+    VeRAWeights,
+    dequantize_nf4,
+    dora_forward,
+    qlora_forward,
+    quantize_nf4,
+    variant_forward_profiles,
+    vera_backward_scales,
+    vera_forward,
+)
+from repro.core.traffic import (
+    STRATEGIES,
+    LoRAShape,
+    lora_profiles,
+    total_traffic,
+    traffic_ratio,
+)
+
+__all__ = [
+    "LoRAConfig",
+    "LoRAContext",
+    "LoRAGrads",
+    "LoRALinear",
+    "LoRAShape",
+    "LoRAWeights",
+    "MultiLoRABatch",
+    "MultiLoRAContext",
+    "MultiLoRAGrads",
+    "PAD_ADAPTER_ID",
+    "QuantizedWeight",
+    "STRATEGIES",
+    "VeRAWeights",
+    "Segment",
+    "TrafficLedger",
+    "build_tile_table",
+    "dequantize_nf4",
+    "dora_forward",
+    "frozen_linear_backward",
+    "frozen_linear_forward",
+    "fused_dropout_matmul",
+    "fused_dys_dyb",
+    "fused_dyw_dsa",
+    "fused_lora_backward",
+    "fused_lora_forward",
+    "fused_multi_lora_backward",
+    "fused_multi_lora_forward",
+    "fused_xw_sb",
+    "init_lora_weights",
+    "lora_backward_reference",
+    "lora_forward_reference",
+    "lora_profiles",
+    "matmul_da",
+    "pack_segments",
+    "qlora_forward",
+    "quantize_nf4",
+    "total_traffic",
+    "variant_forward_profiles",
+    "vera_backward_scales",
+    "vera_forward",
+    "traffic_ratio",
+]

@@ -1,0 +1,166 @@
+"""FusedLoRA kernels: the split-graph fusion strategy of Figure 10.
+
+The paper's key kernel-level insight is to split the LoRA computation graph
+at the rank-``r`` intermediate ``S = dropout(X) @ A`` (which is cheap to
+materialise) and fuse everything else *horizontally* around the full-sized
+activations.  The resulting five-kernel plan is:
+
+forward
+    1. ``fused_dropout_matmul``  -- dropout + down-projection in one pass
+       over ``X`` (avoids reloading ``X_hat``).
+    2. ``fused_xw_sb``           -- base GEMM with the LoRA up-projection
+       accumulated in its epilogue (avoids materialising the partial
+       outputs ``Y1``/``Y2`` and the separate scale-and-add).
+
+backward
+    3. ``fused_dys_dyb``         -- one pass over ``dY`` producing both
+       ``dB`` and ``dS`` (avoids materialising ``alpha * dY``).
+    4. ``matmul_da``             -- ``dA = X_hat.T @ dS``; left unfused, as
+       in the paper (operates on the already-saved ``X_hat``).
+    5. ``fused_dyw_dsa``         -- base input-gradient GEMM with the LoRA
+       path (``dS @ A`` + dropout backward) in its epilogue.
+
+Numerically each fused kernel computes exactly what the corresponding
+unfused kernels of :mod:`repro.core.lora` compute; the difference is the
+number of passes over DRAM, which :mod:`repro.core.traffic` accounts for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lora import (
+    LoRAContext,
+    LoRAGrads,
+    LoRAWeights,
+    apply_dropout,
+    dropout_mask,
+)
+from repro.errors import KernelConfigError
+
+__all__ = [
+    "fused_dropout_matmul",
+    "fused_xw_sb",
+    "fused_dys_dyb",
+    "matmul_da",
+    "fused_dyw_dsa",
+    "fused_lora_forward",
+    "fused_lora_backward",
+]
+
+
+def fused_dropout_matmul(
+    x: np.ndarray,
+    a: np.ndarray,
+    dropout: float,
+    rng: np.random.Generator | None = None,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Kernel 1: dropout fused with the down-projection GEMM.
+
+    A single pass loads each tile of ``X`` once, applies dropout, stores the
+    masked activation ``X_hat`` (needed later for ``dA``), and accumulates
+    the rank-``r`` product ``S = X_hat @ A``.
+
+    Returns:
+        ``(x_hat, s, mask)``.
+    """
+    if mask is None:
+        if dropout > 0.0 and rng is None:
+            raise KernelConfigError("dropout > 0 requires an rng or explicit mask")
+        mask = dropout_mask(x.shape, dropout, rng) if dropout else None
+    keep_prob = 1.0 - dropout
+    x_hat = apply_dropout(x, mask, keep_prob)
+    s = x_hat @ a
+    return x_hat, s, mask
+
+
+def fused_xw_sb(
+    x: np.ndarray,
+    w: np.ndarray,
+    s: np.ndarray,
+    b: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """Kernel 2: base GEMM with the LoRA branch fused into its epilogue.
+
+    Computes ``Y = X @ W + alpha * (S @ B)`` without writing the partial
+    products to DRAM.  Because ``S`` and ``B`` are rank-``r`` sized, loading
+    them inside the epilogue does not disturb the tiling of the
+    compute-bound ``X @ W``.
+    """
+    return x @ w + alpha * (s @ b)
+
+
+def fused_dys_dyb(
+    dy: np.ndarray,
+    s: np.ndarray,
+    b: np.ndarray,
+    alpha: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kernel 3: one pass over ``dY`` producing both ``dB`` and ``dS``.
+
+    The scaling ``alpha * dY`` happens in registers instead of through a
+    materialised intermediate.
+
+    Returns:
+        ``(db, ds)`` with shapes ``(r, n)`` and ``(m, r)``.
+    """
+    db = alpha * (s.T @ dy)
+    ds = alpha * (dy @ b.T)
+    return db, ds
+
+
+def matmul_da(x_hat: np.ndarray, ds: np.ndarray) -> np.ndarray:
+    """Kernel 4: ``dA = X_hat.T @ dS`` -- intentionally left unfused.
+
+    Both operands are already materialised and the output is rank-sized, so
+    fusion would buy nothing (Figure 10, operation 4 "remains unchanged").
+    """
+    return x_hat.T @ ds
+
+
+def fused_dyw_dsa(
+    dy: np.ndarray,
+    w: np.ndarray,
+    ds: np.ndarray,
+    a: np.ndarray,
+    mask: np.ndarray | None,
+    keep_prob: float,
+) -> np.ndarray:
+    """Kernel 5: base input-gradient GEMM fused with the LoRA input path.
+
+    Computes ``dX = dY @ W.T + dropout_bwd(dS @ A.T)`` in one kernel,
+    avoiding the partial input gradients and the separate add.
+    """
+    dx_lora = apply_dropout(ds @ a.T, mask, keep_prob)
+    return dy @ w.T + dx_lora
+
+
+def fused_lora_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    weights: LoRAWeights,
+    rng: np.random.Generator | None = None,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, LoRAContext]:
+    """Complete FusedLoRA forward pass (kernels 1-2 of Figure 10)."""
+    cfg = weights.config
+    x_hat, s, mask = fused_dropout_matmul(x, weights.a, cfg.dropout, rng, mask)
+    y = fused_xw_sb(x, w, s, weights.b, cfg.alpha)
+    ctx = LoRAContext(x=x, x_hat=x_hat, s=s, mask=mask, keep_prob=1.0 - cfg.dropout)
+    return y, ctx
+
+
+def fused_lora_backward(
+    dy: np.ndarray,
+    w: np.ndarray,
+    weights: LoRAWeights,
+    ctx: LoRAContext,
+) -> LoRAGrads:
+    """Complete FusedLoRA backward pass (kernels 3-5 of Figure 10)."""
+    cfg = weights.config
+    db, ds = fused_dys_dyb(dy, ctx.s, weights.b, cfg.alpha)
+    da = matmul_da(ctx.x_hat, ds)
+    dx = fused_dyw_dsa(dy, w, ds, weights.a, ctx.mask, ctx.keep_prob)
+    return LoRAGrads(dx=dx, da=da, db=db)

@@ -1,0 +1,226 @@
+"""LoRA linear-layer math: configuration and the unfused reference path.
+
+This module implements the computation of Equation 1 of the paper,
+
+    Y = X @ W + alpha * (dropout(X) @ A) @ B
+
+and its backward pass, exactly as the stock PyTorch/PEFT implementation
+("Torch LoRA" in the paper's figures) executes it: one kernel per operation.
+The fused implementations in :mod:`repro.core.fused` and
+:mod:`repro.core.multi` are validated against this reference -- they must
+produce numerically identical outputs and gradients (the paper's
+"losslessness" guarantee in Section 6).
+
+Shapes follow Table 1 of the paper:
+
+===========  =========================================
+``x``        input, ``(m, k)``
+``w``        frozen base weight, ``(k, n)``
+``a``        LoRA down-projection, ``(k, r)``
+``b``        LoRA up-projection, ``(r, n)``
+``y``        output, ``(m, n)``
+===========  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KernelConfigError
+
+__all__ = [
+    "LoRAConfig",
+    "LoRAWeights",
+    "LoRAContext",
+    "LoRAGrads",
+    "apply_dropout",
+    "dropout_mask",
+    "lora_forward_reference",
+    "lora_backward_reference",
+    "frozen_linear_forward",
+    "frozen_linear_backward",
+    "init_lora_weights",
+]
+
+
+@dataclass(frozen=True)
+class LoRAConfig:
+    """Hyper-parameters of one LoRA adapter.
+
+    Attributes:
+        rank: Low-rank dimension ``r`` (paper uses 16 and 32).
+        alpha: Scaling constant applied to the low-rank branch.  Many
+            implementations use ``alpha / rank`` as the effective scale; we
+            store the *effective* multiplier directly for clarity.
+        dropout: Dropout probability applied to the adapter input.
+        adapter_id: Identifier used by multi-LoRA routing and the scheduler.
+    """
+
+    rank: int = 16
+    alpha: float = 2.0
+    dropout: float = 0.1
+    adapter_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank <= 0:
+            raise KernelConfigError(f"LoRA rank must be positive, got {self.rank}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise KernelConfigError(
+                f"dropout must be in [0, 1), got {self.dropout}"
+            )
+
+
+@dataclass
+class LoRAWeights:
+    """Parameter tensors of one LoRA adapter (``a`` down, ``b`` up)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    config: LoRAConfig = field(default_factory=LoRAConfig)
+
+    def __post_init__(self) -> None:
+        if self.a.ndim != 2 or self.b.ndim != 2:
+            raise KernelConfigError("LoRA weights must be 2-D matrices")
+        if self.a.shape[1] != self.config.rank or self.b.shape[0] != self.config.rank:
+            raise KernelConfigError(
+                f"weight shapes {self.a.shape}/{self.b.shape} do not match "
+                f"rank {self.config.rank}"
+            )
+
+    @property
+    def in_features(self) -> int:
+        """Input dimension ``k``."""
+        return self.a.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        """Output dimension ``n``."""
+        return self.b.shape[1]
+
+
+@dataclass
+class LoRAContext:
+    """Saved tensors from a forward pass, consumed by the backward pass."""
+
+    x: np.ndarray
+    x_hat: np.ndarray
+    s: np.ndarray
+    mask: np.ndarray | None
+    keep_prob: float
+
+
+@dataclass
+class LoRAGrads:
+    """Gradients produced by a LoRA backward pass (``w`` is frozen)."""
+
+    dx: np.ndarray
+    da: np.ndarray
+    db: np.ndarray
+
+
+def init_lora_weights(
+    k: int,
+    n: int,
+    config: LoRAConfig,
+    rng: np.random.Generator,
+    dtype: np.dtype = np.float64,
+) -> LoRAWeights:
+    """Standard LoRA initialisation: Kaiming-style ``A``, zero ``B``.
+
+    With ``B = 0`` the adapter starts as an exact no-op, which is the
+    conventional initialisation from the original LoRA paper.
+    """
+    a = (rng.standard_normal((k, config.rank)) / np.sqrt(k)).astype(dtype)
+    b = np.zeros((config.rank, n), dtype=dtype)
+    return LoRAWeights(a=a, b=b, config=config)
+
+
+def dropout_mask(
+    shape: tuple[int, ...], dropout: float, rng: np.random.Generator
+) -> np.ndarray | None:
+    """Sample a boolean keep-mask, or ``None`` when dropout is disabled."""
+    if dropout == 0.0:
+        return None
+    return rng.random(shape) >= dropout
+
+
+def apply_dropout(
+    x: np.ndarray, mask: np.ndarray | None, keep_prob: float
+) -> np.ndarray:
+    """Apply inverted dropout: zero dropped entries, rescale kept ones."""
+    if mask is None:
+        return x
+    return x * mask / keep_prob
+
+
+def frozen_linear_forward(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Forward of the frozen base linear layer: ``y = x @ w``."""
+    return x @ w
+
+
+def frozen_linear_backward(dy: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Backward of the frozen base layer: only ``dx`` (``w`` has no grad)."""
+    return dy @ w.T
+
+
+def lora_forward_reference(
+    x: np.ndarray,
+    w: np.ndarray,
+    weights: LoRAWeights,
+    rng: np.random.Generator | None = None,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, LoRAContext]:
+    """Unfused LoRA forward pass (the paper's "Torch LoRA" baseline).
+
+    Executes the five distinct kernels of Figure 4: dropout, ``X @ W``,
+    ``X_hat @ A``, ``S @ B``, and the final scale-and-add.
+
+    Args:
+        x: Input of shape ``(m, k)``.
+        w: Frozen base weight of shape ``(k, n)``.
+        weights: Adapter parameters and config.
+        rng: Generator used to sample the dropout mask.  Required when
+            ``config.dropout > 0`` and ``mask`` is not supplied.
+        mask: Pre-sampled keep mask; overrides ``rng`` when given.
+
+    Returns:
+        ``(y, ctx)`` where ``ctx`` carries the saved tensors for backward.
+    """
+    cfg = weights.config
+    if mask is None:
+        if cfg.dropout > 0.0 and rng is None:
+            raise KernelConfigError("dropout > 0 requires an rng or explicit mask")
+        mask = dropout_mask(x.shape, cfg.dropout, rng) if cfg.dropout else None
+    keep_prob = 1.0 - cfg.dropout
+    x_hat = apply_dropout(x, mask, keep_prob)  # kernel 1: dropout
+    y1 = x @ w  # kernel 2: base GEMM
+    s = x_hat @ weights.a  # kernel 3: down-projection GEMM
+    y2 = s @ weights.b  # kernel 4: up-projection GEMM
+    y = y1 + cfg.alpha * y2  # kernel 5: scale-and-add
+    ctx = LoRAContext(x=x, x_hat=x_hat, s=s, mask=mask, keep_prob=keep_prob)
+    return y, ctx
+
+
+def lora_backward_reference(
+    dy: np.ndarray,
+    w: np.ndarray,
+    weights: LoRAWeights,
+    ctx: LoRAContext,
+) -> LoRAGrads:
+    """Unfused LoRA backward pass matching Figure 4's kernel list.
+
+    Computes gradients for the adapter weights and the layer input; the base
+    weight ``w`` is frozen and receives no gradient.
+    """
+    cfg = weights.config
+    dy_hat = cfg.alpha * dy  # kernel: Mul
+    db = ctx.s.T @ dy_hat  # kernel: S.T @ dY
+    ds = dy_hat @ weights.b.T  # kernel: dY @ B
+    da = ctx.x_hat.T @ ds  # kernel: X_hat.T @ dS
+    dx_hat = ds @ weights.a.T  # kernel: dS @ A
+    dx_base = dy @ w.T  # kernel: dY @ W
+    dx_lora = apply_dropout(dx_hat, ctx.mask, ctx.keep_prob)  # kernel: DropoutBwd
+    dx = dx_base + dx_lora  # kernel: Add
+    return LoRAGrads(dx=dx, da=da, db=db)

@@ -1,0 +1,206 @@
+"""`LoRALinear`: a plug-and-play LoRA layer with switchable kernel strategy.
+
+The paper emphasises that FusedLoRA "can directly serve as a plug-and-play
+replacement in existing LoRA systems".  This module provides that interface
+for the numpy substrate: a layer object holding the frozen base weight and
+one or more adapters, whose ``forward``/``backward`` dispatch to the
+reference, fused, or multi-LoRA kernel implementations while logging the
+kernel profiles each call would launch on a real GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import fused as fused_kernels
+from repro.core import lora as ref_kernels
+from repro.core import multi as multi_kernels
+from repro.core.lora import LoRAConfig, LoRAContext, LoRAGrads, LoRAWeights
+from repro.core.multi import MultiLoRABatch, MultiLoRAContext, MultiLoRAGrads
+from repro.core.traffic import LoRAShape, lora_profiles
+from repro.errors import KernelConfigError
+from repro.gpu.roofline import KernelProfile
+
+__all__ = ["TrafficLedger", "LoRALinear"]
+
+
+@dataclass
+class TrafficLedger:
+    """Accumulates the kernel profiles a layer would launch on a GPU."""
+
+    profiles: list[KernelProfile] = field(default_factory=list)
+
+    def record(self, profiles: list[KernelProfile]) -> None:
+        """Append a pass's kernel profiles."""
+        self.profiles.extend(profiles)
+
+    def total_bytes(self) -> float:
+        """Total DRAM traffic recorded so far."""
+        return sum(p.bytes_total for p in self.profiles)
+
+    def total_flops(self) -> float:
+        """Total FLOPs recorded so far."""
+        return sum(p.flops for p in self.profiles)
+
+    def clear(self) -> None:
+        """Forget all recorded profiles."""
+        self.profiles.clear()
+
+
+class LoRALinear:
+    """A frozen linear layer with one or more LoRA adapters attached.
+
+    Args:
+        w: Frozen base weight of shape ``(k, n)``.
+        strategy: ``"torch"`` (unfused reference), ``"fused"`` (FusedLoRA),
+            or ``"fused_multi"`` (FusedMultiLoRA; required for mixed
+            batches).  The system falls back from ``fused_multi`` to the
+            cheaper single-adapter plan automatically when a batch contains
+            one adapter, mirroring the paper's runtime dispatch.
+        rng: Generator used for dropout masks.
+
+    Adapters are registered with :meth:`add_adapter` and selected per call:
+    single-adapter calls take ``adapter_id``; mixed calls take a
+    :class:`~repro.core.multi.MultiLoRABatch`.
+    """
+
+    def __init__(
+        self,
+        w: np.ndarray,
+        strategy: str = "fused",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if w.ndim != 2:
+            raise KernelConfigError(f"base weight must be 2-D, got shape {w.shape}")
+        if strategy not in ("torch", "fused", "fused_multi"):
+            raise KernelConfigError(f"unknown strategy {strategy!r}")
+        self.w = w
+        self.strategy = strategy
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.adapters: dict[int, LoRAWeights] = {}
+        self.ledger = TrafficLedger()
+        self._ctx: LoRAContext | MultiLoRAContext | None = None
+        self._ctx_adapter: int | None = None
+
+    @property
+    def in_features(self) -> int:
+        """Input dimension ``k``."""
+        return self.w.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        """Output dimension ``n``."""
+        return self.w.shape[1]
+
+    def add_adapter(
+        self, config: LoRAConfig, rng: np.random.Generator | None = None
+    ) -> LoRAWeights:
+        """Create, register, and return a fresh adapter for this layer."""
+        if config.adapter_id in self.adapters:
+            raise KernelConfigError(f"adapter {config.adapter_id} already exists")
+        weights = ref_kernels.init_lora_weights(
+            self.in_features,
+            self.out_features,
+            config,
+            rng if rng is not None else self.rng,
+            dtype=self.w.dtype,
+        )
+        self.adapters[config.adapter_id] = weights
+        return weights
+
+    def _shape(self, m: int, adapter: LoRAWeights, num_adapters: int = 1) -> LoRAShape:
+        return LoRAShape(
+            m=m,
+            k=self.in_features,
+            n=self.out_features,
+            r=adapter.config.rank,
+            dropout=adapter.config.dropout > 0.0,
+            num_adapters=num_adapters,
+        )
+
+    def forward(self, x: np.ndarray, adapter_id: int = 0) -> np.ndarray:
+        """Single-adapter forward pass; saves context for backward."""
+        adapter = self._get_adapter(adapter_id)
+        strategy = "torch" if self.strategy == "torch" else "fused"
+        if strategy == "torch":
+            y, ctx = ref_kernels.lora_forward_reference(x, self.w, adapter, self.rng)
+        else:
+            y, ctx = fused_kernels.fused_lora_forward(x, self.w, adapter, self.rng)
+        self.ledger.record(
+            lora_profiles(strategy, "forward", self._shape(x.shape[0], adapter))
+        )
+        self._ctx, self._ctx_adapter = ctx, adapter_id
+        return y
+
+    def backward(self, dy: np.ndarray) -> LoRAGrads:
+        """Single-adapter backward pass using the saved context."""
+        if not isinstance(self._ctx, LoRAContext):
+            raise KernelConfigError("backward called without a single-adapter forward")
+        adapter = self._get_adapter(self._ctx_adapter)
+        strategy = "torch" if self.strategy == "torch" else "fused"
+        if strategy == "torch":
+            grads = ref_kernels.lora_backward_reference(dy, self.w, adapter, self._ctx)
+        else:
+            grads = fused_kernels.fused_lora_backward(dy, self.w, adapter, self._ctx)
+        self.ledger.record(
+            lora_profiles(strategy, "backward", self._shape(dy.shape[0], adapter))
+        )
+        self._ctx = None
+        return grads
+
+    def forward_multi(self, x: np.ndarray, batch: MultiLoRABatch) -> np.ndarray:
+        """Mixed-adapter forward pass routed by ``batch``.
+
+        Falls back to the single-adapter fused kernel when the batch holds
+        exactly one adapter and no padding, as the paper's runtime does.
+        """
+        if self.strategy != "fused_multi":
+            raise KernelConfigError(
+                "forward_multi requires strategy='fused_multi' "
+                f"(layer built with {self.strategy!r})"
+            )
+        ids = batch.adapter_ids
+        if len(ids) == 1 and len(batch.segments) == 1:
+            return self.forward(x, adapter_id=ids[0])
+        y, ctx = multi_kernels.fused_multi_lora_forward(
+            x, self.w, self.adapters, batch, self.rng
+        )
+        rank = max(self.adapters[i].config.rank for i in ids)
+        shape = LoRAShape(
+            m=x.shape[0],
+            k=self.in_features,
+            n=self.out_features,
+            r=rank,
+            dropout=any(self.adapters[i].config.dropout > 0 for i in ids),
+            num_adapters=len(ids),
+        )
+        self.ledger.record(lora_profiles("fused_multi", "forward", shape))
+        self._ctx = ctx
+        return y
+
+    def backward_multi(self, dy: np.ndarray) -> MultiLoRAGrads:
+        """Mixed-adapter backward pass using the saved multi context."""
+        if not isinstance(self._ctx, MultiLoRAContext):
+            raise KernelConfigError("backward_multi called without forward_multi")
+        ctx = self._ctx
+        grads = multi_kernels.fused_multi_lora_backward(dy, self.w, self.adapters, ctx)
+        ids = ctx.batch.adapter_ids
+        rank = max(self.adapters[i].config.rank for i in ids)
+        shape = LoRAShape(
+            m=dy.shape[0],
+            k=self.in_features,
+            n=self.out_features,
+            r=rank,
+            dropout=any(self.adapters[i].config.dropout > 0 for i in ids),
+            num_adapters=len(ids),
+        )
+        self.ledger.record(lora_profiles("fused_multi", "backward", shape))
+        self._ctx = None
+        return grads
+
+    def _get_adapter(self, adapter_id: int | None) -> LoRAWeights:
+        if adapter_id is None or adapter_id not in self.adapters:
+            raise KernelConfigError(f"unknown adapter id {adapter_id!r}")
+        return self.adapters[adapter_id]

@@ -1,0 +1,41 @@
+"""Dataset substrate: length distributions, sample streams, packing."""
+
+from repro.data.dataset import FinetuneDataset, Sample, synthetic_dataset
+from repro.data.distributions import (
+    CNN_DAILYMAIL,
+    MIXED,
+    WIKISUM,
+    XSUM,
+    LengthDistribution,
+    MixtureDistribution,
+    get_distribution,
+    list_distributions,
+)
+from repro.data.packing import (
+    Pack,
+    PaddedBatch,
+    onthefly_microbatches,
+    pad_batches,
+    padding_waste,
+    prepack_dataset,
+)
+
+__all__ = [
+    "CNN_DAILYMAIL",
+    "FinetuneDataset",
+    "LengthDistribution",
+    "MIXED",
+    "MixtureDistribution",
+    "Pack",
+    "PaddedBatch",
+    "Sample",
+    "WIKISUM",
+    "XSUM",
+    "get_distribution",
+    "list_distributions",
+    "onthefly_microbatches",
+    "pad_batches",
+    "padding_waste",
+    "prepack_dataset",
+    "synthetic_dataset",
+]

@@ -1,0 +1,127 @@
+"""Synthetic dataset length distributions calibrated to Figure 13.
+
+The paper fine-tunes on three summarization datasets -- XSum,
+CNN/DailyMail, and WikiSum -- whose *sample length distributions* are what
+every scheduling result depends on (token content never matters for
+throughput).  We model each as a clipped log-normal fitted to Figure 13's
+densities: XSum is short (mean ~500 tokens), CNN/DailyMail medium
+(~900), WikiSum long and heavy-tailed (~2200, stretching past 4K).  The
+``mixed`` dataset combines equal thirds of all three, and is the high
+variance workload of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LengthDistribution",
+    "MixtureDistribution",
+    "XSUM",
+    "CNN_DAILYMAIL",
+    "WIKISUM",
+    "MIXED",
+    "get_distribution",
+    "list_distributions",
+]
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """Clipped log-normal sample-length distribution.
+
+    Attributes:
+        name: Dataset name as used in the paper.
+        key: Registry key.
+        log_mean: Mean of the underlying normal (of ``ln(length)``).
+        log_sigma: Standard deviation of the underlying normal.
+        min_len: Lengths are clipped below this.
+        max_len: Lengths are clipped above this.
+    """
+
+    name: str
+    key: str
+    log_mean: float
+    log_sigma: float
+    min_len: int = 64
+    max_len: int = 8192
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` integer sample lengths."""
+        raw = rng.lognormal(self.log_mean, self.log_sigma, size=count)
+        return np.clip(np.round(raw).astype(np.int64), self.min_len, self.max_len)
+
+    def mean(self) -> float:
+        """Analytical mean of the (unclipped) log-normal."""
+        return float(np.exp(self.log_mean + self.log_sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class MixtureDistribution:
+    """Equal-probability mixture of several length distributions."""
+
+    name: str
+    key: str
+    components: tuple[LengthDistribution, ...]
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` lengths, each from a uniformly chosen component."""
+        choices = rng.integers(0, len(self.components), size=count)
+        lengths = np.empty(count, dtype=np.int64)
+        for i, component in enumerate(self.components):
+            mask = choices == i
+            lengths[mask] = component.sample(int(mask.sum()), rng)
+        return lengths
+
+    def mean(self) -> float:
+        """Mean of the mixture."""
+        return float(np.mean([c.mean() for c in self.components]))
+
+    @property
+    def min_len(self) -> int:
+        """Smallest possible length across components."""
+        return min(c.min_len for c in self.components)
+
+    @property
+    def max_len(self) -> int:
+        """Largest possible length across components."""
+        return max(c.max_len for c in self.components)
+
+
+XSUM = LengthDistribution(
+    name="XSum", key="xsum", log_mean=np.log(430.0), log_sigma=0.42
+)
+
+CNN_DAILYMAIL = LengthDistribution(
+    name="CNN/DailyMail", key="cnn_dailymail", log_mean=np.log(820.0),
+    log_sigma=0.38,
+)
+
+WIKISUM = LengthDistribution(
+    name="WikiSum", key="wikisum", log_mean=np.log(1750.0), log_sigma=0.62
+)
+
+MIXED = MixtureDistribution(
+    name="Mixed", key="mixed", components=(XSUM, CNN_DAILYMAIL, WIKISUM)
+)
+
+_REGISTRY: dict[str, LengthDistribution | MixtureDistribution] = {
+    d.key: d for d in (XSUM, CNN_DAILYMAIL, WIKISUM, MIXED)
+}
+
+
+def get_distribution(key: str) -> LengthDistribution | MixtureDistribution:
+    """Look up a dataset length distribution by key."""
+    try:
+        return _REGISTRY[key.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dataset {key!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def list_distributions() -> list[str]:
+    """Registry keys of all known datasets."""
+    return sorted(_REGISTRY)

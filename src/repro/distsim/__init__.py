@@ -1,0 +1,48 @@
+"""Distributed-training simulation: pipelines, FSDP, end-to-end systems."""
+
+from repro.distsim.cluster import ClusterSpec
+from repro.distsim.fsdp import FSDPStepResult, simulate_fsdp_step
+from repro.distsim.memory import (
+    MemoryEstimate,
+    activation_bytes_per_token,
+    estimate_memory,
+    fits_on_gpu,
+)
+from repro.distsim.pipeline import (
+    PipelineMicrobatch,
+    PipelineResult,
+    simulate_flushed,
+    simulate_stream,
+)
+from repro.distsim.systems import (
+    SystemReport,
+    run_lorafusion,
+    run_megatron_fsdp,
+    run_megatron_pp,
+    run_mlora,
+    run_single_gpu_sequential,
+    stage_times,
+    to_pipeline_microbatch,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "FSDPStepResult",
+    "MemoryEstimate",
+    "activation_bytes_per_token",
+    "estimate_memory",
+    "fits_on_gpu",
+    "PipelineMicrobatch",
+    "PipelineResult",
+    "SystemReport",
+    "run_lorafusion",
+    "run_megatron_fsdp",
+    "run_megatron_pp",
+    "run_mlora",
+    "run_single_gpu_sequential",
+    "simulate_flushed",
+    "simulate_fsdp_step",
+    "simulate_stream",
+    "stage_times",
+    "to_pipeline_microbatch",
+]

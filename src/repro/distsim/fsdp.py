@@ -1,0 +1,137 @@
+"""FSDP (ZeRO-3) step-time simulation with compute/communication overlap.
+
+Under FSDP every rank holds a shard of the frozen base weights; each layer's
+full weights are all-gathered just-in-time for its forward and again for its
+backward, then freed.  With prefetching, the gather of layer ``l+1``
+overlaps the compute of layer ``l``, so the per-layer cost is
+``max(compute, gather)``; whichever is larger is the bottleneck.  This is
+why Figure 5 shows FSDP throughput rising steeply with global batch size:
+more tokens per rank grow compute linearly while the gather cost is fixed,
+so overlap improves until communication is fully hidden.
+
+LoRA changes the gradient side: base weights are frozen, so there is *no*
+reduce-scatter of base gradients -- only the tiny adapter gradients
+all-reduce, which we price but which is negligible.
+
+DP ranks process different microbatches but synchronise at every layer's
+collective, so the step time follows the *slowest* rank -- the load
+imbalance of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distsim.cluster import ClusterSpec
+from repro.errors import SimulationError
+from repro.gpu.specs import BYTES_PER_ELEMENT
+from repro.models.config import ModelConfig
+from repro.models.layer_costs import LayerCostModel, MicrobatchShape
+
+__all__ = ["FSDPStepResult", "simulate_fsdp_step"]
+
+#: Fixed per-layer dispatch/synchronisation latency (seconds): collective
+#: launch, stream sync, and CPU overhead that dominates tiny microbatches.
+LAYER_SYNC_LATENCY = 30e-6
+
+
+@dataclass
+class FSDPStepResult:
+    """Timing of one FSDP training step (all microbatches, one optimizer
+    step).
+
+    Attributes:
+        step_time: Wall-clock seconds for the step.
+        compute_time: Pure compute seconds of the slowest rank.
+        exposed_comm: Communication seconds not hidden by compute.
+    """
+
+    step_time: float
+    compute_time: float
+    exposed_comm: float
+
+
+def _layer_param_bytes(model: ModelConfig, dtype: str) -> float:
+    """Frozen parameter bytes of one decoder layer."""
+    elem = BYTES_PER_ELEMENT[dtype]
+    params = sum(k * n for k, n in model.linear_shapes().values())
+    params += 2 * model.hidden_size
+    return params * elem
+
+
+def simulate_fsdp_step(
+    per_rank_shapes: list[list[MicrobatchShape]],
+    cost: LayerCostModel,
+    cluster: ClusterSpec,
+    recompute: bool = False,
+) -> FSDPStepResult:
+    """Simulate one FSDP step over ``dp = len(per_rank_shapes)`` ranks.
+
+    Args:
+        per_rank_shapes: For each rank, the microbatches it processes this
+            step (gradient accumulation re-gathers per microbatch).
+        cost: Layer cost model (model + GPU + kernel strategy).
+        cluster: Cluster description (link bandwidths).
+        recompute: Full activation checkpointing (backward re-runs the
+            layer forward, ~1.33x compute).  Off by default: LoRA stores
+            far fewer activations than full fine-tuning, and the paper's
+            measured FSDP-faster-than-PP ordering matches the
+            no-recompute regime.
+
+    Returns:
+        Step timing; ranks synchronise at every collective, so all times
+        follow the slowest rank.
+    """
+    dp = len(per_rank_shapes)
+    if dp == 0:
+        raise SimulationError("FSDP needs at least one rank")
+    model = cost.model
+    gather_bytes = _layer_param_bytes(model, cost.dtype) * (dp - 1) / dp
+    gather_time = (
+        gather_bytes / cluster.collective_bandwidth(dp) if dp > 1 else 0.0
+    )
+
+    step_time = 0.0
+    compute_total = 0.0
+    exposed_total = 0.0
+    num_microbatches = max(len(shapes) for shapes in per_rank_shapes)
+    for index in range(num_microbatches):
+        # All ranks walk layers in lockstep; each layer's time is the max
+        # over ranks of max(compute, gather) -- the imbalance penalty.
+        for direction in ("forward", "backward"):
+            slowest_compute = 0.0
+            for shapes in per_rank_shapes:
+                if index < len(shapes) and shapes[index].tokens > 0:
+                    t = cost.layer_time(shapes[index], direction)
+                    if direction == "backward" and recompute:
+                        t += cost.layer_time(shapes[index], "forward")
+                    slowest_compute = max(slowest_compute, t)
+            per_layer = max(slowest_compute, gather_time) + LAYER_SYNC_LATENCY
+            step_time += model.num_layers * per_layer
+            compute_total += model.num_layers * slowest_compute
+            exposed_total += model.num_layers * (
+                per_layer - LAYER_SYNC_LATENCY - slowest_compute
+            )
+        # Embedding + head/loss work of this microbatch (slowest rank).
+        head = 0.0
+        for shapes in per_rank_shapes:
+            if index < len(shapes) and shapes[index].tokens > 0:
+                tokens = shapes[index].tokens
+                t = (
+                    cost.embedding_time(tokens)
+                    + cost.head_time(tokens, "forward")
+                    + cost.head_time(tokens, "backward")
+                )
+                head = max(head, t)
+        step_time += head
+        compute_total += head
+    # The first gather of each pass cannot be prefetched behind compute.
+    step_time += 2 * gather_time
+    exposed_total += 2 * gather_time
+    # Adapter gradient all-reduce + optimizer step (tiny).
+    step_time += cost.optimizer_step_time()
+    return FSDPStepResult(
+        step_time=step_time,
+        compute_time=compute_total,
+        exposed_comm=exposed_total,
+    )

@@ -1,0 +1,143 @@
+"""GPU memory model: model states plus activations, with OOM detection.
+
+Section 2.1 derives LoRA's memory advantage (``2nk + 32r(n+k)`` bytes per
+adapted linear vs ``16nk`` for full fine-tuning); Section 6.2 notes that
+on WikiSum "the baseline methods suffer from out-of-memory errors, [while]
+LoRAFusion achieves stable packing".  This module prices both terms so the
+planner can reject infeasible configurations and the benches can reproduce
+the OOM observations.
+
+Activation accounting (half precision, per token per decoder layer):
+the attention block stores the two norms' inputs, q/k/v/o activations and
+the flash-attention output; the MLP stores gate/up/act/down.  LoRA adds
+the rank-sized ``S`` and the dropout masks.  Pipeline stages hold up to
+``S`` microbatches of activations in flight (1F1B); FSDP holds one
+microbatch but the full gathered layer during compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import BYTES_PER_ELEMENT, GPUSpec
+from repro.models.config import ModelConfig
+
+__all__ = ["MemoryEstimate", "activation_bytes_per_token", "estimate_memory",
+           "fits_on_gpu"]
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Predicted peak memory of one GPU (bytes)."""
+
+    weights: float
+    adapter_states: float
+    activations: float
+    workspace: float
+
+    @property
+    def total(self) -> float:
+        """Peak bytes."""
+        return (self.weights + self.adapter_states + self.activations
+                + self.workspace)
+
+    def total_gb(self) -> float:
+        """Peak gigabytes."""
+        return self.total / 1e9
+
+
+def activation_bytes_per_token(
+    model: ModelConfig,
+    lora_rank: int = 16,
+    dtype: str = "bf16",
+    saving: str = "selective",
+) -> float:
+    """Saved-activation bytes per token per decoder layer.
+
+    Args:
+        saving: Recompute regime. ``"full"`` keeps every intermediate
+            (naive autograd); ``"selective"`` recomputes attention
+            internals, keeping ~34h bytes/token (Megatron's selective
+            activation recomputation); ``"checkpoint"`` keeps only layer
+            boundary activations and recomputes everything else -- the
+            regime that lets 70B pipeline stages hold several in-flight
+            microbatches on 80GB devices.
+    """
+    e = BYTES_PER_ELEMENT[dtype]
+    h, kv, ffn = model.hidden_size, model.kv_dim, model.intermediate_size
+    lora = (7 * lora_rank + 2 * h) * e  # S buffers + dropout masks approx
+    if saving == "full":
+        attention = 2 * h + 2 * (h + 2 * kv) + h  # norms + qkv + attn out
+        mlp = h + 3 * ffn + h  # norm + gate/up/act + down input
+        return (attention + mlp) * e + lora
+    if saving == "selective":
+        return 34 * h / 2 * e + lora
+    if saving == "checkpoint":
+        return 2 * h * e + lora / 8
+    raise ValueError(f"unknown activation saving regime {saving!r}")
+
+
+def estimate_memory(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    tokens_in_flight: int,
+    num_stages: int = 1,
+    dp_shard: int = 1,
+    lora_rank: int = 16,
+    num_adapters: int = 1,
+    dtype: str = "bf16",
+    saving: str = "selective",
+) -> MemoryEstimate:
+    """Peak memory of one GPU under a parallel configuration.
+
+    Args:
+        model: Architecture.
+        gpu: Device (for workspace sizing only).
+        tokens_in_flight: Activation-holding tokens on this GPU: for
+            pipeline parallelism, up to ``num_stages`` microbatches on
+            stage 0; for FSDP/single-GPU, one microbatch.
+        num_stages: Pipeline stages (weights split across them).
+        dp_shard: FSDP shard count (weights divided, one layer gathered).
+        lora_rank: Adapter rank.
+        num_adapters: Concurrent adapters (multi-LoRA states).
+        dtype: Training dtype.
+        saving: Activation recompute regime (see
+            :func:`activation_bytes_per_token`).
+    """
+    e = BYTES_PER_ELEMENT[dtype]
+    layer_params = sum(k * n for k, n in model.linear_shapes().values())
+    layer_params += 2 * model.hidden_size
+    embed_params = 2 * model.vocab_size * model.hidden_size
+    total_params = model.num_layers * layer_params + embed_params
+
+    weights = total_params * e / (num_stages * dp_shard)
+    if dp_shard > 1:
+        weights += layer_params * e  # one gathered layer resident
+    # 16 bytes per adapter parameter (fp16 w+grad, fp32 master + moments).
+    adapter_params = (
+        model.num_layers * sum(lora_rank * (k + n)
+                               for k, n in model.linear_shapes().values())
+    ) / num_stages
+    adapter_states = 16.0 * adapter_params * num_adapters
+
+    layers_here = model.num_layers / num_stages
+    activations = (
+        tokens_in_flight
+        * layers_here
+        * activation_bytes_per_token(model, lora_rank, dtype, saving)
+    )
+    # Logits + CUDA context + fragmentation reserve.
+    workspace = 2e9 + tokens_in_flight * model.vocab_size * e / max(
+        1, num_stages
+    )
+    return MemoryEstimate(
+        weights=weights,
+        adapter_states=adapter_states,
+        activations=activations,
+        workspace=workspace,
+    )
+
+
+def fits_on_gpu(estimate: MemoryEstimate, gpu: GPUSpec) -> bool:
+    """Whether the estimate fits the device (with a 5% safety margin)."""
+    return estimate.total <= gpu.mem_capacity_gb * 1e9 * 0.95

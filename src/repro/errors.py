@@ -1,0 +1,21 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class KernelConfigError(ReproError):
+    """A kernel was invoked with an invalid or inconsistent configuration."""
+
+
+class ScheduleError(ReproError):
+    """A scheduling invariant (capacity, ordering, bubble lemma) was violated."""
+
+
+class CapacityError(ScheduleError):
+    """A sample or microbatch exceeds the configured token capacity."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,102 @@
+"""Timeline simulation for sequences of GPU kernels.
+
+A :class:`KernelTimeline` accumulates :class:`~repro.gpu.roofline.KernelProfile`
+records (in issue order, as a CUDA stream would execute them) and reports the
+total runtime, per-kernel times, and per-category breakdowns.  This is the
+machinery behind the paper's Figure 4 (runtime breakdown of a LoRA linear
+module) and Figures 3/17/18 (throughput comparisons), with the H100 roofline
+model standing in for wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.gpu.roofline import KernelProfile, estimate_kernel_time
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["TimedKernel", "KernelTimeline", "simulate_kernel_sequence"]
+
+
+@dataclass(frozen=True)
+class TimedKernel:
+    """A kernel profile together with its simulated start/end times."""
+
+    profile: KernelProfile
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Simulated runtime in seconds."""
+        return self.end - self.start
+
+
+class KernelTimeline:
+    """Sequential execution trace of kernels on one GPU stream."""
+
+    def __init__(self, gpu: GPUSpec, dtype: str = "fp16") -> None:
+        self.gpu = gpu
+        self.dtype = dtype
+        self._items: list[TimedKernel] = []
+        self._clock = 0.0
+
+    def launch(self, profile: KernelProfile) -> TimedKernel:
+        """Append one kernel to the stream and return its timing record."""
+        duration = estimate_kernel_time(profile, self.gpu, self.dtype)
+        timed = TimedKernel(profile, self._clock, self._clock + duration)
+        self._items.append(timed)
+        self._clock = timed.end
+        return timed
+
+    def launch_all(self, profiles: Iterable[KernelProfile]) -> None:
+        """Append a sequence of kernels in order."""
+        for profile in profiles:
+            self.launch(profile)
+
+    @property
+    def kernels(self) -> Sequence[TimedKernel]:
+        """All launched kernels in issue order."""
+        return tuple(self._items)
+
+    @property
+    def total_time(self) -> float:
+        """End time of the last kernel (seconds)."""
+        return self._clock
+
+    def total_traffic(self) -> float:
+        """Total DRAM bytes moved across all kernels."""
+        return sum(item.profile.bytes_total for item in self._items)
+
+    def total_flops(self) -> float:
+        """Total FLOPs across all kernels."""
+        return sum(item.profile.flops for item in self._items)
+
+    def breakdown_by(self, attribute: str = "category") -> dict[str, float]:
+        """Aggregate runtime (seconds) keyed by a profile attribute.
+
+        Args:
+            attribute: ``"category"`` or ``"name"``.
+        """
+        result: dict[str, float] = {}
+        for item in self._items:
+            key = getattr(item.profile, attribute)
+            result[key] = result.get(key, 0.0) + item.duration
+        return result
+
+    def breakdown_fractions(self, attribute: str = "category") -> dict[str, float]:
+        """Like :meth:`breakdown_by` but normalised to fractions of total."""
+        total = self.total_time
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self.breakdown_by(attribute).items()}
+
+
+def simulate_kernel_sequence(
+    profiles: Iterable[KernelProfile], gpu: GPUSpec, dtype: str = "fp16"
+) -> KernelTimeline:
+    """Convenience helper: build a timeline and launch ``profiles`` on it."""
+    timeline = KernelTimeline(gpu, dtype)
+    timeline.launch_all(profiles)
+    return timeline

@@ -1,0 +1,174 @@
+"""GPU device specifications used by the roofline performance model.
+
+The paper evaluates on NVIDIA H100 (80GB, NVLink) and L40S (48GB, PCIe)
+GPUs and additionally lists pre-tuned kernel configurations for A100 and
+RTX 3090.  We reproduce those devices as :class:`GPUSpec` records.  Peak
+numbers are the public datasheet values for *dense* (non-sparse) tensor-core
+throughput; the efficiency factors calibrate achievable fractions of peak,
+which is how the paper's absolute throughputs (e.g. Figure 3's ~17-20M
+tokens/s for a frozen 4096x4096 linear) are matched in shape.
+
+The key derived quantity is :attr:`GPUSpec.machine_balance` -- peak FLOP/s
+divided by peak bytes/s.  Section 3.1 of the paper quotes ~295 FLOP/byte for
+FP16 on H100; the spec below reproduces that value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "BYTES_PER_ELEMENT",
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    "H100",
+    "A100_SXM",
+    "A100_PCIE",
+    "L40S",
+    "RTX3090",
+]
+
+#: Bytes occupied by one element of each supported storage dtype.
+BYTES_PER_ELEMENT = {
+    "fp64": 8,
+    "fp32": 4,
+    "tf32": 4,
+    "fp16": 2,
+    "bf16": 2,
+    "fp8": 1,
+    "int8": 1,
+    "bool": 1,
+}
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance-relevant description of a single GPU.
+
+    Attributes:
+        name: Human-readable device name.
+        key: Short registry key (e.g. ``"h100"``).
+        tensor_tflops: Dense tensor-core TFLOP/s by dtype.
+        cuda_tflops: CUDA-core (vector) TFLOP/s for elementwise work.
+        mem_bandwidth_gbps: Peak DRAM bandwidth in GB/s.
+        mem_capacity_gb: DRAM capacity in GB.
+        gemm_efficiency: Achievable fraction of peak for large GEMMs.
+        mem_efficiency: Achievable fraction of peak DRAM bandwidth for
+            memory-bound kernels (elementwise ops, skinny GEMMs).
+        kernel_launch_us: Fixed per-kernel launch latency in microseconds.
+        intra_node_gbps: Per-direction intra-node interconnect bandwidth
+            (NVLink for H100/A100-SXM, PCIe for L40S/3090) in GB/s.
+        inter_node_gbps: Per-direction inter-node (InfiniBand) bandwidth.
+        link_latency_us: Per-message interconnect latency.
+    """
+
+    name: str
+    key: str
+    tensor_tflops: dict[str, float]
+    cuda_tflops: float
+    mem_bandwidth_gbps: float
+    mem_capacity_gb: float
+    gemm_efficiency: float = 0.77
+    mem_efficiency: float = 0.83
+    kernel_launch_us: float = 4.0
+    intra_node_gbps: float = 300.0
+    inter_node_gbps: float = 50.0
+    link_latency_us: float = 10.0
+
+    def peak_flops(self, dtype: str = "fp16") -> float:
+        """Peak dense tensor-core FLOP/s for ``dtype``."""
+        try:
+            return self.tensor_tflops[dtype] * 1e12
+        except KeyError as exc:
+            raise KeyError(
+                f"{self.name} has no tensor-core rate for dtype {dtype!r}; "
+                f"available: {sorted(self.tensor_tflops)}"
+            ) from exc
+
+    def peak_bandwidth(self) -> float:
+        """Peak DRAM bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    def machine_balance(self, dtype: str = "fp16") -> float:
+        """Peak FLOPs per byte of DRAM traffic (the roofline ridge point)."""
+        return self.peak_flops(dtype) / self.peak_bandwidth()
+
+    def effective_flops(self, dtype: str = "fp16") -> float:
+        """Achievable GEMM FLOP/s after the calibrated efficiency factor."""
+        return self.peak_flops(dtype) * self.gemm_efficiency
+
+    def effective_bandwidth(self) -> float:
+        """Achievable DRAM bytes/s after the calibrated efficiency factor."""
+        return self.peak_bandwidth() * self.mem_efficiency
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+H100 = GPUSpec(
+    name="NVIDIA H100 80GB HBM3",
+    key="h100",
+    tensor_tflops={"fp16": 989.4, "bf16": 989.4, "tf32": 494.7, "fp8": 1978.9},
+    cuda_tflops=66.9,
+    mem_bandwidth_gbps=3352.0,
+    mem_capacity_gb=80.0,
+    intra_node_gbps=450.0,  # NVLink 4 per-direction
+    inter_node_gbps=50.0,  # 400Gb InfiniBand
+)
+
+A100_SXM = GPUSpec(
+    name="NVIDIA A100 SXM4 80GB",
+    key="a100-sxm",
+    tensor_tflops={"fp16": 312.0, "bf16": 312.0, "tf32": 156.0},
+    cuda_tflops=19.5,
+    mem_bandwidth_gbps=2039.0,
+    mem_capacity_gb=80.0,
+    intra_node_gbps=300.0,  # NVLink 3
+    inter_node_gbps=25.0,
+)
+
+A100_PCIE = A100_SXM.with_overrides(
+    name="NVIDIA A100 PCIe 80GB",
+    key="a100-pcie",
+    mem_bandwidth_gbps=1935.0,
+    intra_node_gbps=32.0,  # PCIe gen4 x16
+)
+
+L40S = GPUSpec(
+    name="NVIDIA L40S 48GB",
+    key="l40s",
+    tensor_tflops={"fp16": 181.0, "bf16": 181.0, "tf32": 90.5, "fp8": 362.0},
+    cuda_tflops=91.6,
+    mem_bandwidth_gbps=864.0,
+    mem_capacity_gb=48.0,
+    intra_node_gbps=32.0,  # PCIe gen4 x16
+    inter_node_gbps=25.0,
+)
+
+RTX3090 = GPUSpec(
+    name="NVIDIA GeForce RTX 3090",
+    key="rtx3090",
+    tensor_tflops={"fp16": 71.0, "bf16": 71.0, "tf32": 35.6},
+    cuda_tflops=35.6,
+    mem_bandwidth_gbps=936.0,
+    mem_capacity_gb=24.0,
+    intra_node_gbps=16.0,
+    inter_node_gbps=10.0,
+)
+
+_REGISTRY = {spec.key: spec for spec in (H100, A100_SXM, A100_PCIE, L40S, RTX3090)}
+
+
+def get_gpu(key: str) -> GPUSpec:
+    """Look up a GPU spec by registry key (case-insensitive)."""
+    try:
+        return _REGISTRY[key.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown GPU {key!r}; known: {sorted(_REGISTRY)}") from exc
+
+
+def list_gpus() -> list[str]:
+    """Registry keys of all known GPUs."""
+    return sorted(_REGISTRY)

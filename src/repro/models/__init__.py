@@ -1,0 +1,32 @@
+"""Model substrate: architecture configs, layer cost model, numeric model."""
+
+from repro.models.config import (
+    LLAMA3_8B,
+    LLAMA3_70B,
+    QWEN25_32B,
+    TINY,
+    ModelConfig,
+    get_model,
+    list_models,
+)
+from repro.models.layer_costs import LayerCostModel, MicrobatchShape
+from repro.models.transformer import (
+    PackedBatch,
+    TinyLoRATransformer,
+    softmax_cross_entropy,
+)
+
+__all__ = [
+    "LLAMA3_70B",
+    "LLAMA3_8B",
+    "LayerCostModel",
+    "MicrobatchShape",
+    "ModelConfig",
+    "PackedBatch",
+    "QWEN25_32B",
+    "TINY",
+    "TinyLoRATransformer",
+    "get_model",
+    "list_models",
+    "softmax_cross_entropy",
+]

@@ -1,0 +1,262 @@
+"""Per-decoder-layer cost model: from architecture to microbatch runtimes.
+
+The end-to-end experiments (Figures 5, 7, 14-16, 20-22) need the time one
+pipeline stage spends on one microbatch.  This module assembles that from
+kernel profiles: the seven LoRA-adapted linears per decoder layer (priced by
+:mod:`repro.core.traffic` under the chosen kernel strategy) plus the
+non-linear layer machinery -- flash attention, RMSNorm, rotary embedding,
+residual adds -- and the embedding / LM-head / loss work of the first and
+last pipeline stages.
+
+Attention cost is quadratic in per-sample sequence length, so microbatch
+descriptors carry both the total token count and the sum of squared sample
+lengths (on-the-fly packing uses block-diagonal attention, Figure 2c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.traffic import LoRAShape, lora_profiles
+from repro.gpu.roofline import KernelProfile, estimate_kernel_time
+from repro.gpu.specs import BYTES_PER_ELEMENT, GPUSpec
+from repro.models.config import ModelConfig
+
+__all__ = ["MicrobatchShape", "LayerCostModel"]
+
+#: Backward FLOP multiplier for flash attention (recomputes the forward).
+ATTENTION_BACKWARD_FACTOR = 2.5
+
+
+@dataclass(frozen=True)
+class MicrobatchShape:
+    """Workload description of one microbatch on one pipeline stage.
+
+    Attributes:
+        tokens: Total number of tokens (padded, as scheduled).
+        sum_sq_len: Sum of squared per-sample lengths; drives the quadratic
+            attention term.  A single 8K sample costs far more attention
+            time than 8K tokens split over 16 samples.
+        num_adapters: Distinct adapters present (selects the multi kernel).
+    """
+
+    tokens: int
+    sum_sq_len: float
+    num_adapters: int = 1
+
+    @staticmethod
+    def from_lengths(lengths: list[int], num_adapters: int = 1) -> "MicrobatchShape":
+        """Build a shape from per-sample token lengths."""
+        return MicrobatchShape(
+            tokens=sum(lengths),
+            sum_sq_len=float(sum(l * l for l in lengths)),
+            num_adapters=num_adapters,
+        )
+
+
+class LayerCostModel:
+    """Prices decoder-layer, embedding, and head work on a given GPU.
+
+    Args:
+        model: Architecture shapes.
+        gpu: Device the work runs on.
+        strategy: Kernel strategy for the LoRA linears (``"frozen"``,
+            ``"torch"``, ``"fused"``, ``"fused_multi"``).
+        lora_rank: Adapter rank ``r``.
+        dropout: Whether adapters apply dropout.
+        dtype: Storage dtype.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        gpu: GPUSpec,
+        strategy: str = "torch",
+        lora_rank: int = 16,
+        dropout: bool = True,
+        dtype: str = "bf16",
+    ) -> None:
+        self.model = model
+        self.gpu = gpu
+        self.strategy = strategy
+        self.lora_rank = lora_rank
+        self.dropout = dropout
+        self.dtype = dtype
+        self._elem = BYTES_PER_ELEMENT[dtype]
+        # Memoised on the (tokens, sum_sq, adapters, direction) tuple: the
+        # simulators evaluate thousands of microbatches from a small set of
+        # distinct shapes.
+        self._layer_time_cached = lru_cache(maxsize=4096)(self._layer_time)
+
+    # -- profile builders ---------------------------------------------------
+
+    def linear_profiles(
+        self, tokens: int, direction: str, num_adapters: int = 1
+    ) -> list[KernelProfile]:
+        """Profiles of the seven LoRA-adapted linears for one layer pass."""
+        profiles: list[KernelProfile] = []
+        strategy = self.strategy
+        if strategy == "fused_multi" and num_adapters <= 1:
+            strategy = "fused"  # the runtime's automatic fallback
+        for k, n in self.model.linear_shapes().values():
+            shape = LoRAShape(
+                m=tokens,
+                k=k,
+                n=n,
+                r=self.lora_rank,
+                dtype=self.dtype,
+                dropout=self.dropout and strategy != "frozen",
+                num_adapters=max(1, num_adapters),
+            )
+            profiles.extend(lora_profiles(strategy, direction, shape))
+        return profiles
+
+    def attention_profile(
+        self, tokens: int, sum_sq_len: float, direction: str
+    ) -> KernelProfile:
+        """Flash-attention cost with block-diagonal (packed) masking."""
+        h = self.model.hidden_size
+        kv_ratio = self.model.num_kv_heads / self.model.num_heads
+        # Causal: half of the score matrix; two GEMMs (QK^T and PV).
+        flops = 2.0 * sum_sq_len * h * (1.0 + 1.0)/2.0
+        if direction == "backward":
+            flops *= ATTENTION_BACKWARD_FACTOR
+        qkv_bytes = tokens * (h + 2 * h * kv_ratio) * self._elem
+        out_bytes = tokens * h * self._elem
+        return KernelProfile(
+            name=f"flash_attention_{direction[:3]}",
+            flops=flops,
+            bytes_read=qkv_bytes + (out_bytes if direction == "backward" else 0),
+            bytes_written=out_bytes if direction == "forward" else qkv_bytes,
+            uses_tensor_cores=True,
+            category="attention",
+        )
+
+    def elementwise_profiles(self, tokens: int, direction: str) -> list[KernelProfile]:
+        """RMSNorm (x2), rotary embedding, and residual adds for one layer."""
+        h = self.model.hidden_size
+        e = self._elem
+        th = tokens * h * e
+        rot = tokens * (self.model.hidden_size + self.model.kv_dim) * e
+        profiles = [
+            KernelProfile(f"rmsnorm_{direction[:3]}", flops=4.0 * tokens * h,
+                          bytes_read=th, bytes_written=th,
+                          uses_tensor_cores=False, category="elementwise"),
+            KernelProfile(f"rmsnorm2_{direction[:3]}", flops=4.0 * tokens * h,
+                          bytes_read=th, bytes_written=th,
+                          uses_tensor_cores=False, category="elementwise"),
+            KernelProfile(f"rotary_{direction[:3]}", flops=3.0 * tokens * h,
+                          bytes_read=rot, bytes_written=rot,
+                          uses_tensor_cores=False, category="elementwise"),
+            KernelProfile(f"residual_{direction[:3]}", flops=2.0 * tokens * h,
+                          bytes_read=2 * th, bytes_written=th,
+                          uses_tensor_cores=False, category="elementwise"),
+        ]
+        return profiles
+
+    def layer_profiles(
+        self, shape: MicrobatchShape, direction: str
+    ) -> list[KernelProfile]:
+        """All kernel profiles of one decoder layer pass."""
+        profiles = self.linear_profiles(shape.tokens, direction, shape.num_adapters)
+        profiles.append(
+            self.attention_profile(shape.tokens, shape.sum_sq_len, direction)
+        )
+        profiles.extend(self.elementwise_profiles(shape.tokens, direction))
+        return profiles
+
+    # -- timing -------------------------------------------------------------
+
+    def _layer_time(
+        self, tokens: int, sum_sq_len: float, num_adapters: int, direction: str
+    ) -> float:
+        shape = MicrobatchShape(tokens, sum_sq_len, num_adapters)
+        return sum(
+            estimate_kernel_time(p, self.gpu, self.dtype)
+            for p in self.layer_profiles(shape, direction)
+        )
+
+    def layer_time(self, shape: MicrobatchShape, direction: str) -> float:
+        """Seconds one decoder layer spends on ``shape`` in ``direction``."""
+        return self._layer_time_cached(
+            shape.tokens, shape.sum_sq_len, shape.num_adapters, direction
+        )
+
+    def embedding_time(self, tokens: int) -> float:
+        """Embedding lookup cost (first pipeline stage)."""
+        profile = KernelProfile(
+            "embedding",
+            flops=0.0,
+            bytes_read=tokens * self.model.hidden_size * self._elem,
+            bytes_written=tokens * self.model.hidden_size * self._elem,
+            uses_tensor_cores=False,
+            category="elementwise",
+        )
+        return estimate_kernel_time(profile, self.gpu, self.dtype)
+
+    def head_time(self, tokens: int, direction: str) -> float:
+        """LM head GEMM plus softmax cross-entropy (last pipeline stage)."""
+        h, v = self.model.hidden_size, self.model.vocab_size
+        e = self._elem
+        gemm = KernelProfile(
+            f"lm_head_{direction[:3]}",
+            flops=2.0 * tokens * h * v * (2.0 if direction == "backward" else 1.0),
+            bytes_read=(tokens * h + h * v) * e,
+            bytes_written=tokens * v * e,
+            uses_tensor_cores=True,
+            category="base_gemm",
+        )
+        loss = KernelProfile(
+            f"cross_entropy_{direction[:3]}",
+            flops=5.0 * tokens * v,
+            bytes_read=tokens * v * e,
+            bytes_written=tokens * v * e if direction == "backward" else tokens * e,
+            uses_tensor_cores=False,
+            category="elementwise",
+        )
+        return estimate_kernel_time(gemm, self.gpu, self.dtype) + estimate_kernel_time(
+            loss, self.gpu, self.dtype
+        )
+
+    def stage_time(
+        self,
+        shape: MicrobatchShape,
+        direction: str,
+        num_layers: float,
+        first_stage: bool = False,
+        last_stage: bool = False,
+    ) -> float:
+        """Seconds one pipeline stage spends on one microbatch pass.
+
+        Args:
+            shape: Microbatch workload.
+            direction: ``"forward"`` or ``"backward"``.
+            num_layers: Decoder layers hosted by this stage.
+            first_stage: Whether the stage owns the embedding.
+            last_stage: Whether the stage owns the LM head and loss.
+        """
+        if shape.tokens == 0:
+            return 0.0
+        total = num_layers * self.layer_time(shape, direction)
+        if first_stage and direction == "forward":
+            total += self.embedding_time(shape.tokens)
+        if last_stage:
+            total += self.head_time(shape.tokens, direction)
+        return total
+
+    def optimizer_step_time(self) -> float:
+        """Adapter-only AdamW step cost: negligible but non-zero."""
+        lora_params = self.model.num_layers * sum(
+            self.lora_rank * (k + n)
+            for k, n in self.model.linear_shapes().values()
+        )
+        profile = KernelProfile(
+            "adamw_step",
+            flops=12.0 * lora_params,
+            bytes_read=16.0 * lora_params,
+            bytes_written=12.0 * lora_params,
+            uses_tensor_cores=False,
+            category="optimizer",
+        )
+        return estimate_kernel_time(profile, self.gpu, self.dtype)

@@ -1,0 +1,17 @@
+"""Parallelism planning: capacity profiling and run-plan selection."""
+
+from repro.planner.profiler import (
+    DEFAULT_CAPACITY_CANDIDATES,
+    CandidateResult,
+    ProfilerReport,
+    min_required_capacity,
+    propose_capacity,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY_CANDIDATES",
+    "CandidateResult",
+    "ProfilerReport",
+    "min_required_capacity",
+    "propose_capacity",
+]

@@ -1,0 +1,12 @@
+"""Numeric training runtime: engine, optimizer, job descriptions."""
+
+from repro.runtime.engine import MultiLoRAEngine, NumericJob, TrainResult
+from repro.runtime.optimizer import AdamWConfig, AdapterOptimizer
+
+__all__ = [
+    "AdamWConfig",
+    "AdapterOptimizer",
+    "MultiLoRAEngine",
+    "NumericJob",
+    "TrainResult",
+]

@@ -1,0 +1,76 @@
+"""AdamW optimizer for LoRA adapter parameters.
+
+Only the adapter matrices ``A``/``B`` train (base weights are frozen), so
+the optimizer state is rank-sized -- the memory argument of Section 2.1.
+The implementation is deterministic: the same gradient sequence always
+produces the same parameters, which the losslessness tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lora import LoRAWeights
+
+__all__ = ["AdamWConfig", "AdapterOptimizer"]
+
+
+@dataclass(frozen=True)
+class AdamWConfig:
+    """AdamW hyper-parameters (PyTorch defaults, fp32-style epsilon)."""
+
+    lr: float = 1e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+
+
+@dataclass
+class _MomentPair:
+    m: np.ndarray
+    v: np.ndarray
+
+
+@dataclass
+class AdapterOptimizer:
+    """AdamW over one adapter's parameter mapping.
+
+    Args:
+        params: Mapping from parameter key (e.g. ``(layer, "q_proj")``) to
+            :class:`~repro.core.lora.LoRAWeights`, updated in place.
+        config: Optimizer hyper-parameters.
+    """
+
+    params: dict[tuple[int, str], LoRAWeights]
+    config: AdamWConfig = field(default_factory=AdamWConfig)
+    step_count: int = 0
+
+    def __post_init__(self) -> None:
+        self._state: dict[tuple[tuple[int, str], str], _MomentPair] = {}
+        for key, weights in self.params.items():
+            for which, tensor in (("a", weights.a), ("b", weights.b)):
+                self._state[(key, which)] = _MomentPair(
+                    m=np.zeros_like(tensor), v=np.zeros_like(tensor)
+                )
+
+    def step(self, grads: dict[tuple[int, str], dict[str, np.ndarray]]) -> None:
+        """Apply one AdamW update from accumulated gradients."""
+        cfg = self.config
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - cfg.beta1**t
+        bias2 = 1.0 - cfg.beta2**t
+        for key, weights in self.params.items():
+            for which, tensor in (("a", weights.a), ("b", weights.b)):
+                grad = grads[key][which]
+                state = self._state[(key, which)]
+                state.m = cfg.beta1 * state.m + (1.0 - cfg.beta1) * grad
+                state.v = cfg.beta2 * state.v + (1.0 - cfg.beta2) * grad * grad
+                m_hat = state.m / bias1
+                v_hat = state.v / bias2
+                if cfg.weight_decay:
+                    tensor *= 1.0 - cfg.lr * cfg.weight_decay
+                tensor -= cfg.lr * m_hat / (np.sqrt(v_hat) + cfg.eps)

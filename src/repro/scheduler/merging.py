@@ -1,0 +1,135 @@
+"""Cross-batch merge pass (Algorithm 1, lines 12-14; Figure 12 bottom).
+
+After per-batch packing, the final microbatch of a global batch is often
+underfilled.  The merge pass shifts tokens of the *smallest* microbatch of
+the next global batch (which stage 2 of the MILP deliberately made as small
+as possible) into the previous batch's microbatches -- but only when every
+shifted sample still satisfies the bubble lemma at its new, earlier
+position: a batch-``j+1`` sample of adapter ``a`` may move to position
+``p`` only if adapter ``a``'s last batch-``j`` sample sits at least
+``S - 1`` microbatches before ``p``.  When the donor microbatch empties, it
+is deleted, removing one pipeline slot from the stream.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.bubble import dependency_gap
+from repro.scheduler.types import Assignment, Microbatch
+
+__all__ = ["merge_pass"]
+
+
+def _region_indices(
+    microbatches: list[Microbatch],
+) -> dict[tuple[int, int], list[int]]:
+    """Positions of each (group, step) region in the schedule."""
+    regions: dict[tuple[int, int], list[int]] = {}
+    for position, mb in enumerate(microbatches):
+        if not mb.is_noop:
+            regions.setdefault((mb.group, mb.step), []).append(position)
+    return regions
+
+
+def _last_positions(
+    microbatches: list[Microbatch],
+) -> dict[tuple[int, int], int]:
+    """Last microbatch index of each (adapter, global batch)."""
+    last: dict[tuple[int, int], int] = {}
+    for position, mb in enumerate(microbatches):
+        for adapter_id, batches in mb.batches_by_adapter().items():
+            for batch in batches:
+                last[(adapter_id, batch)] = position
+    return last
+
+
+def _plan_donor_placement(
+    donor: Microbatch,
+    target_positions: list[int],
+    schedule: list[Microbatch],
+    last_positions: dict[tuple[int, int], int],
+    gap: int,
+) -> dict[int, list[Assignment]] | None:
+    """Try to place every donor sample into the target region.
+
+    Targets are tried latest-position-first (later positions satisfy the
+    bubble constraint for more adapters and are typically the underfilled
+    tail bins).  Returns a placement plan or None when any sample cannot
+    move legally.
+    """
+    probes: dict[int, Microbatch] = {}
+    plan: dict[int, list[Assignment]] = {}
+    ordered = sorted(donor.assignments, key=lambda a: -a.length)
+    for assignment in ordered:
+        prev = last_positions.get(
+            (assignment.adapter_id, assignment.global_batch - 1)
+        )
+        placed = False
+        for position in sorted(target_positions, reverse=True):
+            if prev is not None and position < prev + gap:
+                continue
+            probe = probes.get(position)
+            if probe is None:
+                original = schedule[position]
+                probe = Microbatch(
+                    assignments=list(original.assignments),
+                    capacity=original.capacity,
+                    padding_multiple=original.padding_multiple,
+                    group=original.group,
+                    step=original.step,
+                )
+                probes[position] = probe
+            if probe.fits(assignment.sample):
+                probe.add(assignment)
+                plan.setdefault(position, []).append(assignment)
+                placed = True
+                break
+        if not placed:
+            return None
+    return plan
+
+
+def merge_pass(
+    microbatches: list[Microbatch], num_stages: int
+) -> tuple[list[Microbatch], int]:
+    """Merge next-batch microbatches into underfilled earlier microbatches.
+
+    For every consecutive pair of global-batch regions of the same group,
+    try to dissolve the later region's smallest microbatch into the earlier
+    region, sample by sample, under capacity and bubble-lemma constraints.
+    Each success deletes one microbatch.
+
+    Returns:
+        ``(schedule, merges_performed)``.
+    """
+    result = list(microbatches)
+    gap = dependency_gap(num_stages)
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        regions = _region_indices(result)
+        last_positions = _last_positions(result)
+        for (group, step), positions in sorted(regions.items()):
+            next_positions = regions.get((group, step + 1))
+            if not next_positions or len(next_positions) <= 1:
+                # Never dissolve a region's only microbatch: adapters whose
+                # batch appears nowhere would skip an optimizer step's worth
+                # of spacing for batch step+2 checks.
+                continue
+            donor_position = min(
+                next_positions, key=lambda i: result[i].padded_tokens
+            )
+            donor = result[donor_position]
+            plan = _plan_donor_placement(
+                donor, positions, result, last_positions, gap
+            )
+            if plan is None:
+                continue
+            for position, assignments in plan.items():
+                for assignment in assignments:
+                    result[position].add(assignment)
+            del result[donor_position]
+            merges += 1
+            changed = True
+            break  # positions are stale; recompute regions
+    return result, merges

@@ -1,0 +1,227 @@
+"""The multi-LoRA scheduler: grouping, packing, merging, verification.
+
+This is the top of the scheduling stack (Figure 12).  Given a set of
+fine-tuning jobs sharing one base model, the scheduler:
+
+1. groups adapters by head-tail pairing on mean sample length;
+2. for every (group, global-batch-step), packs the step's samples into
+   capacity-bounded microbatches with the two-stage MILP, falling back to
+   greedy first-fit-decreasing on timeout or when greedy is no worse
+   (Algorithm 1) -- steps are independent, so packing parallelises across
+   worker processes;
+3. assembles the global stream by interleaving groups step by step, which
+   spaces each adapter's consecutive batches apart;
+4. merges underfilled tail microbatches across batch boundaries when the
+   bubble lemma allows;
+5. verifies the bubble lemma and inserts no-op microbatches where needed.
+
+The result is a :class:`~repro.scheduler.types.Schedule` that any executor
+(the numeric engine or the pipeline simulator) can run directly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Sample
+from repro.errors import ScheduleError
+from repro.scheduler.bubble import find_violations, insert_noops
+from repro.scheduler.greedy import greedy_pack
+from repro.scheduler.grouping import head_tail_groups
+from repro.scheduler.merging import merge_pass
+from repro.scheduler.milp import milp_pack
+from repro.scheduler.types import AdapterJob, Microbatch, Schedule
+
+__all__ = ["SchedulerConfig", "MultiLoRAScheduler", "pack_global_batch"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of the multi-LoRA scheduler.
+
+    Attributes:
+        capacity: Microbatch token budget (from the parallelism profiler).
+        padding_multiple: Per-adapter padding granule ``P`` (64 or 128).
+        num_stages: Pipeline depth the schedule must respect.
+        use_milp: Enable the two-stage MILP (else pure greedy).
+        milp_timeout: Per-stage HiGHS time limit in seconds.
+        use_merge: Enable the cross-batch merge pass.
+        group_size: Adapters per group for head-tail pairing; None derives
+            it from the job count (pairs when there are 4+ jobs, singleton
+            groups for 2-3 jobs so their batches still interleave, one
+            group for a lone job).
+        max_workers: Worker processes for parallel packing (0 = inline).
+    """
+
+    capacity: int
+    padding_multiple: int = 64
+    num_stages: int = 1
+    use_milp: bool = True
+    milp_timeout: float = 2.0
+    use_merge: bool = True
+    group_size: int | None = None
+    max_workers: int = 0
+
+    def resolved_group_size(self, num_jobs: int) -> int:
+        """The group size to use for ``num_jobs`` jobs."""
+        if self.group_size is not None:
+            return self.group_size
+        if num_jobs >= 4:
+            return max(1, num_jobs // 2)
+        return 1
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ScheduleError("capacity must be positive")
+        if self.padding_multiple <= 0:
+            raise ScheduleError("padding_multiple must be positive")
+        if self.capacity % self.padding_multiple != 0:
+            raise ScheduleError(
+                f"capacity {self.capacity} must be a multiple of the padding "
+                f"multiple {self.padding_multiple}"
+            )
+
+
+def pack_global_batch(
+    samples: list[tuple[Sample, int]],
+    capacity: int,
+    padding_multiple: int,
+    use_milp: bool,
+    milp_timeout: float,
+) -> tuple[list[Microbatch], str]:
+    """Pack one (group, step)'s samples per Algorithm 1.
+
+    Module-level (picklable) so worker processes can run it.
+
+    Returns:
+        ``(microbatches, method)`` with method ``"milp"`` or ``"greedy"``.
+    """
+    greedy_bins = greedy_pack(samples, capacity, padding_multiple)
+    if not use_milp or len(greedy_bins) <= 1:
+        return greedy_bins, "greedy"
+    result = milp_pack(
+        samples,
+        capacity,
+        padding_multiple,
+        max_bins=len(greedy_bins),
+        timeout=milp_timeout,
+    )
+    if result.microbatches is None or result.num_bins > len(greedy_bins):
+        return greedy_bins, "greedy"
+    greedy_min = min(mb.padded_tokens for mb in greedy_bins)
+    if result.num_bins == len(greedy_bins) and result.min_bin_tokens >= greedy_min:
+        return greedy_bins, "greedy"
+    return result.microbatches, "milp"
+
+
+def _pack_task(args):
+    group_index, step, samples, capacity, padding, use_milp, timeout = args
+    bins, method = pack_global_batch(samples, capacity, padding, use_milp, timeout)
+    return group_index, step, bins, method
+
+
+class MultiLoRAScheduler:
+    """Schedules multiple LoRA fine-tuning jobs onto one microbatch stream.
+
+    Args:
+        jobs: The fine-tuning jobs (distinct adapter ids).
+        config: Scheduler tunables.
+    """
+
+    def __init__(self, jobs: list[AdapterJob], config: SchedulerConfig) -> None:
+        if not jobs:
+            raise ScheduleError("scheduler requires at least one job")
+        ids = [job.adapter_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ScheduleError(f"duplicate adapter ids: {ids}")
+        self.jobs = list(jobs)
+        self.config = config
+
+    def _packing_tasks(self, groups: list[list[AdapterJob]]):
+        """One packing task per (group, global-batch step)."""
+        cfg = self.config
+        tasks = []
+        for group_index, group in enumerate(groups):
+            batches_per_job = {
+                job.adapter_id: job.dataset.global_batches(job.global_batch_size)
+                for job in group
+            }
+            num_steps = max(len(b) for b in batches_per_job.values())
+            for step in range(num_steps):
+                samples: list[tuple[Sample, int]] = []
+                for job in group:
+                    batches = batches_per_job[job.adapter_id]
+                    if step < len(batches):
+                        samples.extend((sample, step) for sample in batches[step])
+                if samples:
+                    tasks.append(
+                        (
+                            group_index,
+                            step,
+                            samples,
+                            cfg.capacity,
+                            cfg.padding_multiple,
+                            cfg.use_milp,
+                            cfg.milp_timeout,
+                        )
+                    )
+        return tasks
+
+    def _run_packing(self, tasks):
+        if self.config.max_workers and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=self.config.max_workers) as pool:
+                return list(pool.map(_pack_task, tasks))
+        return [_pack_task(task) for task in tasks]
+
+    def schedule(self) -> Schedule:
+        """Produce the verified microbatch stream for all jobs."""
+        cfg = self.config
+        start = time.perf_counter()
+        groups = head_tail_groups(
+            self.jobs, cfg.resolved_group_size(len(self.jobs))
+        )
+        results = self._run_packing(self._packing_tasks(groups))
+
+        packed: dict[tuple[int, int], list[Microbatch]] = {}
+        milp_wins = 0
+        for group_index, step, bins, method in results:
+            # Emit fullest-first so the underfilled bin sits at the region
+            # tail where the merge pass can reach it.
+            bins = sorted(bins, key=lambda mb: -mb.padded_tokens)
+            for mb in bins:
+                mb.group = group_index
+                mb.step = step
+            packed[(group_index, step)] = bins
+            if method == "milp":
+                milp_wins += 1
+
+        # Interleave groups step by step: G0/B0, G1/B0, G0/B1, G1/B1, ...
+        stream: list[Microbatch] = []
+        max_step = max((key[1] for key in packed), default=-1)
+        for step in range(max_step + 1):
+            for group_index in range(len(groups)):
+                stream.extend(packed.get((group_index, step), []))
+
+        merges = 0
+        if cfg.use_merge:
+            stream, merges = merge_pass(stream, cfg.num_stages)
+        stream, noops = insert_noops(stream, cfg.num_stages)
+        violations = find_violations(stream, cfg.num_stages)
+        if violations:
+            raise ScheduleError(
+                f"schedule violates the bubble lemma after fixing: {violations[:3]}"
+            )
+        elapsed = time.perf_counter() - start
+        stats = {
+            "groups": float(len(groups)),
+            "packing_tasks": float(len(results)),
+            "milp_selected": float(milp_wins),
+            "milp_selected_frac": milp_wins / len(results) if results else 0.0,
+            "merges": float(merges),
+            "noops_inserted": float(noops),
+            "microbatches": float(len(stream)),
+            "tuning_seconds": elapsed,
+        }
+        return Schedule(microbatches=stream, num_stages=cfg.num_stages, stats=stats)

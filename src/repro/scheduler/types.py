@@ -1,0 +1,202 @@
+"""Core datatypes shared by the multi-LoRA scheduler."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.errors import CapacityError, ScheduleError
+from repro.models.layer_costs import MicrobatchShape
+
+__all__ = ["AdapterJob", "Assignment", "Microbatch", "Schedule"]
+
+
+@dataclass(frozen=True)
+class AdapterJob:
+    """One fine-tuning job: an adapter, its dataset, and its batch size.
+
+    Attributes:
+        adapter_id: Adapter identity (unique across jobs).
+        dataset: The job's ordered sample stream.
+        global_batch_size: Samples per optimizer step.
+    """
+
+    adapter_id: int
+    dataset: FinetuneDataset
+    global_batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.global_batch_size <= 0:
+            raise ScheduleError("global_batch_size must be positive")
+        if self.dataset.adapter_id != self.adapter_id:
+            raise ScheduleError(
+                f"dataset belongs to adapter {self.dataset.adapter_id}, "
+                f"job is adapter {self.adapter_id}"
+            )
+
+    def num_global_batches(self) -> int:
+        """Optimizer steps this job will take."""
+        return math.ceil(len(self.dataset) / self.global_batch_size)
+
+    def mean_length(self) -> float:
+        """Mean sample length (drives head-tail grouping)."""
+        return self.dataset.mean_length()
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One sample placed into a microbatch.
+
+    Attributes:
+        sample: The sample.
+        global_batch: The sample's global-batch index for its adapter --
+            the optimizer step whose gradient it contributes to.  Preserved
+            under merging (a shifted sample keeps its original index).
+    """
+
+    sample: Sample
+    global_batch: int
+
+    @property
+    def adapter_id(self) -> int:
+        """Owning adapter."""
+        return self.sample.adapter_id
+
+    @property
+    def length(self) -> int:
+        """Token length."""
+        return self.sample.length
+
+
+@dataclass
+class Microbatch:
+    """A scheduled microbatch: assignments plus capacity bookkeeping.
+
+    Token accounting follows the paper's MILP: each adapter's tokens inside
+    a microbatch are padded up to a multiple of ``padding_multiple`` (``P``)
+    so the FusedMultiLoRA tile table never straddles adapters.
+
+    Attributes:
+        assignments: Samples in this microbatch.
+        capacity: Token budget (padded tokens must not exceed it).
+        padding_multiple: The padding granule ``P``.
+        group: Adapter-group index that produced this microbatch.
+        step: Global-batch step index within the group's stream.
+    """
+
+    assignments: list[Assignment] = field(default_factory=list)
+    capacity: int = 8192
+    padding_multiple: int = 64
+    group: int = 0
+    step: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        """True for bubble-restoring no-op microbatches."""
+        return not self.assignments
+
+    def tokens_by_adapter(self) -> dict[int, int]:
+        """Raw (unpadded) token counts per adapter."""
+        totals: dict[int, int] = {}
+        for assignment in self.assignments:
+            totals[assignment.adapter_id] = (
+                totals.get(assignment.adapter_id, 0) + assignment.length
+            )
+        return totals
+
+    def padded_tokens_by_adapter(self) -> dict[int, int]:
+        """Per-adapter token counts padded to the next multiple of ``P``."""
+        p = self.padding_multiple
+        return {
+            adapter: math.ceil(tokens / p) * p
+            for adapter, tokens in self.tokens_by_adapter().items()
+        }
+
+    @property
+    def padded_tokens(self) -> int:
+        """Total padded tokens (the quantity capped by ``capacity``)."""
+        return sum(self.padded_tokens_by_adapter().values())
+
+    @property
+    def real_tokens(self) -> int:
+        """Total unpadded tokens."""
+        return sum(a.length for a in self.assignments)
+
+    @property
+    def num_adapters(self) -> int:
+        """Distinct adapters present."""
+        return len({a.adapter_id for a in self.assignments})
+
+    def fits(self, sample: Sample) -> bool:
+        """Whether adding ``sample`` keeps the microbatch within capacity."""
+        p = self.padding_multiple
+        padded = self.padded_tokens_by_adapter()
+        current = self.tokens_by_adapter().get(sample.adapter_id, 0)
+        new_padded = math.ceil((current + sample.length) / p) * p
+        total = sum(padded.values()) - padded.get(sample.adapter_id, 0) + new_padded
+        return total <= self.capacity
+
+    def add(self, assignment: Assignment) -> None:
+        """Add a sample, enforcing the capacity invariant."""
+        if not self.fits(assignment.sample):
+            raise CapacityError(
+                f"sample of length {assignment.length} does not fit "
+                f"(used {self.padded_tokens}/{self.capacity})"
+            )
+        self.assignments.append(assignment)
+
+    def shape(self) -> MicrobatchShape:
+        """Workload descriptor for the cost model (padded tokens)."""
+        lengths = [a.length for a in self.assignments]
+        return MicrobatchShape(
+            tokens=self.padded_tokens,
+            sum_sq_len=float(sum(l * l for l in lengths)),
+            num_adapters=self.num_adapters,
+        )
+
+    def batches_by_adapter(self) -> dict[int, set[int]]:
+        """Which global-batch indices each adapter contributes."""
+        result: dict[int, set[int]] = {}
+        for assignment in self.assignments:
+            result.setdefault(assignment.adapter_id, set()).add(
+                assignment.global_batch
+            )
+        return result
+
+
+@dataclass
+class Schedule:
+    """The scheduler's output: an ordered microbatch stream plus stats.
+
+    Attributes:
+        microbatches: Execution order (includes no-ops).
+        num_stages: Pipeline depth the schedule was verified against.
+        stats: Free-form counters (milp wins, merges, no-ops inserted...).
+    """
+
+    microbatches: list[Microbatch]
+    num_stages: int = 1
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.microbatches)
+
+    @property
+    def total_tokens(self) -> int:
+        """Real (unpadded) tokens across the schedule."""
+        return sum(mb.real_tokens for mb in self.microbatches)
+
+    @property
+    def total_padded_tokens(self) -> int:
+        """Padded tokens across the schedule."""
+        return sum(mb.padded_tokens for mb in self.microbatches)
+
+    def adapter_sample_order(self, adapter_id: int) -> list[tuple[int, int]]:
+        """(global_batch, sample_index) pairs in execution order."""
+        order = []
+        for mb in self.microbatches:
+            for assignment in mb.assignments:
+                if assignment.adapter_id == adapter_id:
+                    order.append((assignment.global_batch, assignment.sample.index))
+        return order

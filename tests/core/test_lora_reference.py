@@ -1,0 +1,133 @@
+"""Tests for the unfused reference LoRA math, including numeric gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LoRAConfig,
+    LoRAWeights,
+    init_lora_weights,
+    lora_backward_reference,
+    lora_forward_reference,
+)
+from repro.core.lora import apply_dropout, dropout_mask
+from repro.errors import KernelConfigError
+from tests.helpers import numerical_grad
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(7)
+    m, k, n, r = 12, 10, 8, 3
+    x = rng.standard_normal((m, k))
+    w = rng.standard_normal((k, n)) / np.sqrt(k)
+    cfg = LoRAConfig(rank=r, alpha=0.5, dropout=0.0)
+    a = rng.standard_normal((k, r))
+    b = rng.standard_normal((r, n))
+    weights = LoRAWeights(a=a, b=b, config=cfg)
+    return rng, x, w, weights
+
+
+class TestConfigValidation:
+    def test_negative_rank_rejected(self):
+        with pytest.raises(KernelConfigError):
+            LoRAConfig(rank=0)
+
+    def test_dropout_one_rejected(self):
+        with pytest.raises(KernelConfigError):
+            LoRAConfig(dropout=1.0)
+
+    def test_weight_shape_mismatch_rejected(self):
+        cfg = LoRAConfig(rank=4)
+        with pytest.raises(KernelConfigError):
+            LoRAWeights(a=np.zeros((8, 3)), b=np.zeros((4, 8)), config=cfg)
+
+    def test_weights_expose_dims(self):
+        cfg = LoRAConfig(rank=4)
+        w = LoRAWeights(a=np.zeros((8, 4)), b=np.zeros((4, 6)), config=cfg)
+        assert w.in_features == 8
+        assert w.out_features == 6
+
+
+class TestInit:
+    def test_b_zero_makes_adapter_identity(self, setup):
+        rng, x, w, _ = setup
+        cfg = LoRAConfig(rank=4, alpha=1.0, dropout=0.0)
+        weights = init_lora_weights(x.shape[1], w.shape[1], cfg, rng)
+        y, _ = lora_forward_reference(x, w, weights)
+        np.testing.assert_allclose(y, x @ w, atol=1e-12)
+
+
+class TestForward:
+    def test_matches_equation_1(self, setup):
+        _, x, w, weights = setup
+        y, _ = lora_forward_reference(x, w, weights)
+        expected = x @ w + weights.config.alpha * ((x @ weights.a) @ weights.b)
+        np.testing.assert_allclose(y, expected, atol=1e-12)
+
+    def test_dropout_requires_rng(self, setup):
+        _, x, w, weights = setup
+        cfg = LoRAConfig(rank=3, alpha=0.5, dropout=0.5)
+        wet = LoRAWeights(a=weights.a, b=weights.b, config=cfg)
+        with pytest.raises(KernelConfigError, match="rng"):
+            lora_forward_reference(x, w, wet)
+
+    def test_dropout_scales_kept_entries(self):
+        rng = np.random.default_rng(3)
+        x = np.ones((4, 6))
+        mask = dropout_mask(x.shape, 0.5, rng)
+        x_hat = apply_dropout(x, mask, 0.5)
+        kept = x_hat[mask]
+        assert np.all(kept == 2.0)
+        assert np.all(x_hat[~mask] == 0.0)
+
+    def test_context_saves_forward_tensors(self, setup):
+        _, x, w, weights = setup
+        _, ctx = lora_forward_reference(x, w, weights)
+        np.testing.assert_array_equal(ctx.x, x)
+        np.testing.assert_allclose(ctx.s, x @ weights.a, atol=1e-12)
+        assert ctx.mask is None
+
+
+class TestBackwardGradcheck:
+    """Check analytic gradients against central differences."""
+
+    def _loss_and_grads(self, x, w, weights, mask):
+        y, ctx = lora_forward_reference(x, w, weights, mask=mask)
+        dy = np.cos(y)  # arbitrary smooth upstream gradient: loss = sum(sin y)
+        grads = lora_backward_reference(dy, w, weights, ctx)
+        return grads
+
+    def _scalar_loss(self, x, w, a, b, cfg, mask):
+        weights = LoRAWeights(a=a, b=b, config=cfg)
+        y, _ = lora_forward_reference(x, w, weights, mask=mask)
+        return float(np.sum(np.sin(y)))
+
+    @pytest.mark.parametrize("dropout", [0.0, 0.3])
+    def test_grad_wrt_input_and_adapters(self, setup, dropout):
+        rng, x, w, weights = setup
+        cfg = LoRAConfig(rank=3, alpha=0.5, dropout=dropout)
+        weights = LoRAWeights(a=weights.a, b=weights.b, config=cfg)
+        mask = dropout_mask(x.shape, dropout, rng) if dropout else None
+        grads = self._loss_and_grads(x, w, weights, mask)
+
+        num_dx = numerical_grad(
+            lambda x_: self._scalar_loss(x_, w, weights.a, weights.b, cfg, mask),
+            x.copy(),
+        )
+        num_da = numerical_grad(
+            lambda a_: self._scalar_loss(x, w, a_, weights.b, cfg, mask),
+            weights.a.copy(),
+        )
+        num_db = numerical_grad(
+            lambda b_: self._scalar_loss(x, w, weights.a, b_, cfg, mask),
+            weights.b.copy(),
+        )
+        np.testing.assert_allclose(grads.dx, num_dx, atol=1e-6)
+        np.testing.assert_allclose(grads.da, num_da, atol=1e-6)
+        np.testing.assert_allclose(grads.db, num_db, atol=1e-6)
+
+    def test_frozen_weight_gets_no_grad_attribute(self, setup):
+        _, x, w, weights = setup
+        grads = self._loss_and_grads(x, w, weights, None)
+        assert not hasattr(grads, "dw")

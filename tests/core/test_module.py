@@ -1,0 +1,124 @@
+"""Tests for the plug-and-play LoRALinear module."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoRAConfig, LoRALinear, pack_segments
+from repro.errors import KernelConfigError
+
+K, N = 12, 10
+
+
+@pytest.fixture
+def w():
+    return np.random.default_rng(0).standard_normal((K, N)) / np.sqrt(K)
+
+
+def make_layer(w, strategy="fused", n_adapters=1, dropout=0.0):
+    layer = LoRALinear(w, strategy=strategy, rng=np.random.default_rng(1))
+    for i in range(n_adapters):
+        layer.add_adapter(LoRAConfig(rank=3 + i, alpha=1.0, dropout=dropout,
+                                     adapter_id=i))
+    return layer
+
+
+class TestConstruction:
+    def test_rejects_bad_strategy(self, w):
+        with pytest.raises(KernelConfigError):
+            LoRALinear(w, strategy="magic")
+
+    def test_rejects_non_matrix_weight(self):
+        with pytest.raises(KernelConfigError):
+            LoRALinear(np.zeros(5))
+
+    def test_duplicate_adapter_rejected(self, w):
+        layer = make_layer(w)
+        with pytest.raises(KernelConfigError, match="already exists"):
+            layer.add_adapter(LoRAConfig(adapter_id=0))
+
+    def test_feature_dims(self, w):
+        layer = make_layer(w)
+        assert layer.in_features == K
+        assert layer.out_features == N
+
+
+class TestStrategiesAgree:
+    def test_torch_and_fused_outputs_match(self, w):
+        x = np.random.default_rng(2).standard_normal((8, K))
+        y_torch = make_layer(w, "torch").forward(x)
+        y_fused = make_layer(w, "fused").forward(x)
+        np.testing.assert_allclose(y_torch, y_fused, atol=1e-12)
+
+    def test_torch_and_fused_grads_match(self, w):
+        x = np.random.default_rng(3).standard_normal((8, K))
+        results = {}
+        for strategy in ("torch", "fused"):
+            layer = make_layer(w, strategy)
+            # Fresh adapters are B=0, so re-seed A/B with real values.
+            rng = np.random.default_rng(42)
+            layer.adapters[0].a[:] = rng.standard_normal((K, 3))
+            layer.adapters[0].b[:] = rng.standard_normal((3, N))
+            y = layer.forward(x)
+            results[strategy] = layer.backward(np.sin(y))
+        np.testing.assert_allclose(results["torch"].dx, results["fused"].dx,
+                                   atol=1e-12)
+        np.testing.assert_allclose(results["torch"].da, results["fused"].da,
+                                   atol=1e-12)
+
+
+class TestMultiPath:
+    def test_multi_forward_and_backward(self, w):
+        layer = make_layer(w, "fused_multi", n_adapters=2)
+        rng = np.random.default_rng(4)
+        x0, x1 = rng.standard_normal((6, K)), rng.standard_normal((10, K))
+        x, batch, views = pack_segments([(0, x0), (1, x1)], block_m=4)
+        y = layer.forward_multi(x, batch)
+        grads = layer.backward_multi(np.sin(y))
+        assert set(grads.da) == {0, 1}
+        assert grads.dx.shape == x.shape
+
+    def test_single_adapter_batch_falls_back_to_fused(self, w):
+        layer = make_layer(w, "fused_multi", n_adapters=1)
+        x = np.random.default_rng(5).standard_normal((8, K))
+        x_packed, batch, _ = pack_segments([(0, x)], block_m=4)
+        layer.forward_multi(x_packed, batch)
+        # The fallback records single-adapter fused profiles.
+        assert any(p.name == "fused_xw_sb" for p in layer.ledger.profiles)
+
+    def test_multi_requires_multi_strategy(self, w):
+        layer = make_layer(w, "fused", n_adapters=2)
+        x, batch, _ = pack_segments([(0, np.zeros((4, K)))], block_m=4)
+        with pytest.raises(KernelConfigError, match="fused_multi"):
+            layer.forward_multi(x, batch)
+
+    def test_backward_multi_without_forward_rejected(self, w):
+        layer = make_layer(w, "fused_multi", n_adapters=1)
+        with pytest.raises(KernelConfigError):
+            layer.backward_multi(np.zeros((4, N)))
+
+
+class TestLedger:
+    def test_ledger_accumulates_and_clears(self, w):
+        layer = make_layer(w, "fused")
+        x = np.random.default_rng(6).standard_normal((8, K))
+        y = layer.forward(x)
+        layer.backward(np.ones_like(y))
+        assert layer.ledger.total_bytes() > 0
+        assert layer.ledger.total_flops() > 0
+        assert len(layer.ledger.profiles) == 5  # 2 fwd + 3 bwd kernels
+        layer.ledger.clear()
+        assert layer.ledger.profiles == []
+
+    def test_fused_records_fewer_kernels_than_torch(self, w):
+        x = np.random.default_rng(7).standard_normal((8, K))
+        torch_layer = make_layer(w, "torch")
+        fused_layer = make_layer(w, "fused")
+        for layer in (torch_layer, fused_layer):
+            y = layer.forward(x)
+            layer.backward(np.ones_like(y))
+        assert len(fused_layer.ledger.profiles) < len(torch_layer.ledger.profiles)
+
+    def test_backward_without_forward_rejected(self, w):
+        layer = make_layer(w)
+        with pytest.raises(KernelConfigError):
+            layer.backward(np.zeros((4, N)))

@@ -1,0 +1,198 @@
+"""Tests for the analytical traffic model against the paper's claims."""
+
+import pytest
+
+from repro.core import LoRAShape, lora_profiles, total_traffic, traffic_ratio
+from repro.core.traffic import (
+    full_fusion_recompute_forward,
+    full_fusion_sync_forward,
+    gemm_profile,
+)
+from repro.errors import KernelConfigError
+from repro.gpu import H100, simulate_kernel_sequence
+
+PAPER_SHAPE = LoRAShape(m=8192, k=4096, n=4096, r=16)
+
+
+class TestShapeValidation:
+    def test_negative_dim_rejected(self):
+        with pytest.raises(KernelConfigError):
+            LoRAShape(m=-1, k=4096, n=4096)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(KernelConfigError):
+            LoRAShape(m=8, k=8, n=8, dtype="fp13")
+
+    def test_num_tiles(self):
+        assert LoRAShape(m=130, k=8, n=8, block_m=64).num_tiles == 3
+
+
+class TestKernelCounts:
+    def test_torch_forward_launches_five_kernels(self):
+        # Figure 4 forward: dropout, X@W, X@A, S@B, MulAdd.
+        assert len(lora_profiles("torch", "forward", PAPER_SHAPE)) == 5
+
+    def test_torch_backward_launches_seven_kernels(self):
+        assert len(lora_profiles("torch", "backward", PAPER_SHAPE)) == 7
+
+    def test_fused_forward_launches_two_kernels(self):
+        assert len(lora_profiles("fused", "forward", PAPER_SHAPE)) == 2
+
+    def test_fused_backward_launches_three_kernels(self):
+        assert len(lora_profiles("fused", "backward", PAPER_SHAPE)) == 3
+
+    def test_no_dropout_removes_dropout_kernel(self):
+        shape = LoRAShape(m=8192, k=4096, n=4096, r=16, dropout=False)
+        names = [p.name for p in lora_profiles("torch", "forward", shape)]
+        assert "dropout" not in names
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KernelConfigError, match="unknown strategy"):
+            lora_profiles("mystery", "forward", PAPER_SHAPE)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(KernelConfigError, match="direction"):
+            lora_profiles("torch", "sideways", PAPER_SHAPE)
+
+
+class TestSection31Claims:
+    """Quantitative claims from the motivation section."""
+
+    def test_lora_raises_traffic_about_2_6x(self):
+        # "total GPU global memory read/write traffic increases by
+        # approximately 2.64x compared to the original frozen linear layer".
+        ratio = traffic_ratio("torch", "frozen", PAPER_SHAPE)
+        assert 2.3 <= ratio <= 3.2
+
+    def test_lora_forward_slowdown_about_40_percent(self):
+        frozen = simulate_kernel_sequence(
+            lora_profiles("frozen", "forward", PAPER_SHAPE), H100
+        ).total_time
+        lora = simulate_kernel_sequence(
+            lora_profiles("torch", "forward", PAPER_SHAPE), H100
+        ).total_time
+        slowdown = 1.0 - frozen / lora
+        assert 0.30 <= slowdown <= 0.45
+
+    def test_lora_backward_slowdown_about_36_percent(self):
+        frozen = simulate_kernel_sequence(
+            lora_profiles("frozen", "backward", PAPER_SHAPE), H100
+        ).total_time
+        lora = simulate_kernel_sequence(
+            lora_profiles("torch", "backward", PAPER_SHAPE), H100
+        ).total_time
+        slowdown = 1.0 - frozen / lora
+        assert 0.28 <= slowdown <= 0.45
+
+    def test_rank_barely_changes_runtime(self):
+        # Figure 3: r=16 vs r=32 nearly identical (memory-, not compute-bound).
+        t16 = simulate_kernel_sequence(
+            lora_profiles("torch", "forward", PAPER_SHAPE), H100
+        ).total_time
+        shape32 = LoRAShape(m=8192, k=4096, n=4096, r=32)
+        t32 = simulate_kernel_sequence(
+            lora_profiles("torch", "forward", shape32), H100
+        ).total_time
+        assert abs(t32 - t16) / t16 < 0.02
+
+    def test_compile_gives_zero_forward_benefit(self):
+        t_torch = simulate_kernel_sequence(
+            lora_profiles("torch", "forward", PAPER_SHAPE), H100
+        ).total_time
+        t_compile = simulate_kernel_sequence(
+            lora_profiles("compile", "forward", PAPER_SHAPE), H100
+        ).total_time
+        assert t_compile == pytest.approx(t_torch)
+
+    def test_compile_backward_benefit_is_negligible(self):
+        t_torch = simulate_kernel_sequence(
+            lora_profiles("torch", "backward", PAPER_SHAPE), H100
+        ).total_time
+        t_compile = simulate_kernel_sequence(
+            lora_profiles("compile", "backward", PAPER_SHAPE), H100
+        ).total_time
+        assert t_compile < t_torch
+        assert (t_torch - t_compile) / t_torch < 0.05
+
+
+class TestFusionSavings:
+    def test_fused_moves_less_traffic_than_torch(self):
+        assert traffic_ratio("fused", "torch", PAPER_SHAPE) < 0.7
+
+    def test_traffic_ratio_grows_with_base_dimension(self):
+        # Figure 19: savings shrink (ratio rises) as K=N grows, because the
+        # untouched base-GEMM traffic dominates.
+        ratios = [
+            traffic_ratio("fused", "torch", LoRAShape(m=8192, k=d, n=d, r=16))
+            for d in (4096, 5120, 8192)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_multi_traffic_close_to_fused(self):
+        shape = LoRAShape(m=8192, k=4096, n=4096, r=16, num_adapters=4)
+        fused = traffic_ratio("fused", "torch", shape)
+        multi = traffic_ratio("fused_multi", "torch", shape)
+        assert multi >= fused
+        assert multi - fused < 0.05
+
+    def test_fused_forward_is_faster(self):
+        t_torch = simulate_kernel_sequence(
+            lora_profiles("torch", "forward", PAPER_SHAPE), H100
+        ).total_time
+        t_fused = simulate_kernel_sequence(
+            lora_profiles("fused", "forward", PAPER_SHAPE), H100
+        ).total_time
+        assert 1.1 < t_torch / t_fused < 1.5
+
+    def test_multi_backward_slightly_slower_than_fused(self):
+        shape = LoRAShape(m=8192, k=4096, n=4096, r=16, num_adapters=4)
+        t_fused = simulate_kernel_sequence(
+            lora_profiles("fused", "backward", shape), H100
+        ).total_time
+        t_multi = simulate_kernel_sequence(
+            lora_profiles("fused_multi", "backward", shape), H100
+        ).total_time
+        assert t_fused < t_multi < t_fused * 1.25
+
+
+class TestFigure9Ablation:
+    """The rejected full-fusion designs must lose to split-graph fusion."""
+
+    def _forward_time(self, profiles):
+        return simulate_kernel_sequence(profiles, H100).total_time
+
+    def test_split_beats_full_fusion_recompute(self):
+        split = self._forward_time(lora_profiles("fused", "forward", PAPER_SHAPE))
+        recompute = self._forward_time(full_fusion_recompute_forward(PAPER_SHAPE))
+        assert split < recompute
+
+    def test_split_beats_full_fusion_sync(self):
+        split = self._forward_time(lora_profiles("fused", "forward", PAPER_SHAPE))
+        sync = self._forward_time(full_fusion_sync_forward(PAPER_SHAPE))
+        assert split < sync
+
+    def test_recompute_cost_grows_with_m(self):
+        small = full_fusion_recompute_forward(
+            LoRAShape(m=2048, k=4096, n=4096, r=16)
+        )[0]
+        large = full_fusion_recompute_forward(
+            LoRAShape(m=16384, k=4096, n=4096, r=16)
+        )[0]
+        assert large.flops > 8 * small.flops * 0.9
+
+
+class TestGemmProfile:
+    def test_small_operands_read_once(self):
+        p = gemm_profile("g", 64, 64, 64, 2, "base_gemm")
+        assert p.bytes_read == (64 * 64 + 64 * 64) * 2
+        assert p.bytes_written == 64 * 64 * 2
+
+    def test_large_operands_reload(self):
+        # 8192x8192 fp16 operands exceed L2 residency and re-stream.
+        p = gemm_profile("g", 8192, 8192, 8192, 2, "base_gemm")
+        minimal = 2 * (8192 * 8192 * 2)
+        assert p.bytes_read > minimal
+
+    def test_flops_count(self):
+        p = gemm_profile("g", 4, 5, 6, 2, "x")
+        assert p.flops == 2 * 4 * 5 * 6

@@ -1,0 +1,179 @@
+"""Tests for the Section 7 LoRA variants (QLoRA, VeRA, DoRA)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoRAConfig, LoRAShape, LoRAWeights, lora_forward_reference
+from repro.core.variants import (
+    QuantizedWeight,
+    VeRAWeights,
+    dequantize_nf4,
+    dora_forward,
+    qlora_forward,
+    quantize_nf4,
+    variant_forward_profiles,
+    vera_backward_scales,
+    vera_forward,
+)
+from repro.errors import KernelConfigError
+from tests.helpers import numerical_grad
+
+K, N, R = 16, 12, 3
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((10, K))
+    w = rng.standard_normal((K, N)) / np.sqrt(K)
+    cfg = LoRAConfig(rank=R, alpha=0.8, dropout=0.0)
+    weights = LoRAWeights(
+        a=rng.standard_normal((K, R)), b=rng.standard_normal((R, N)),
+        config=cfg,
+    )
+    return rng, x, w, weights
+
+
+class TestNF4Quantization:
+    def test_roundtrip_error_bounded(self, problem):
+        _, _, w, _ = problem
+        q = quantize_nf4(w)
+        reconstructed = dequantize_nf4(q)
+        # NF4 has 16 levels per absmax block: coarse but bounded.
+        err = np.abs(reconstructed - w).max() / np.abs(w).max()
+        assert err < 0.2
+
+    def test_codes_are_4bit(self, problem):
+        _, _, w, _ = problem
+        q = quantize_nf4(w)
+        assert q.codes.max() <= 15
+        assert q.codes.dtype == np.uint8
+
+    def test_zero_weight_safe(self):
+        q = quantize_nf4(np.zeros((8, 8)))
+        np.testing.assert_array_equal(dequantize_nf4(q), np.zeros((8, 8)))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(KernelConfigError):
+            quantize_nf4(np.zeros(5))
+
+
+class TestQLoRA:
+    def test_matches_reference_on_dequantized_weight(self, problem):
+        _, x, w, weights = problem
+        q = quantize_nf4(w)
+        y_qlora, _ = qlora_forward(x, q, weights)
+        w_deq = dequantize_nf4(q)
+        y_ref, _ = lora_forward_reference(x, w_deq, weights)
+        np.testing.assert_allclose(y_qlora, y_ref, atol=1e-12)
+
+    def test_close_to_full_precision(self, problem):
+        _, x, w, weights = problem
+        y_q, _ = qlora_forward(x, quantize_nf4(w), weights)
+        y_full, _ = lora_forward_reference(x, w, weights)
+        # Quantisation noise only; same order of magnitude outputs.
+        assert np.abs(y_q - y_full).max() < 0.5 * np.abs(y_full).max() + 0.5
+
+
+class TestVeRA:
+    def make_vera(self, problem):
+        rng, x, w, weights = problem
+        vera = VeRAWeights(
+            a=weights.a, b=weights.b,
+            d=rng.standard_normal(R), b_vec=rng.standard_normal(N),
+            config=weights.config,
+        )
+        return x, w, vera
+
+    def test_identity_scales_reduce_to_lora(self, problem):
+        _, x, w, weights = problem
+        vera = VeRAWeights(a=weights.a, b=weights.b, d=np.ones(R),
+                           b_vec=np.ones(N), config=weights.config)
+        y_vera, _ = vera_forward(x, w, vera)
+        y_ref, _ = lora_forward_reference(x, w, weights)
+        np.testing.assert_allclose(y_vera, y_ref, atol=1e-12)
+
+    def test_scale_gradients_match_numeric(self, problem):
+        x, w, vera = self.make_vera(problem)
+        y, ctx = vera_forward(x, w, vera)
+        dy = np.cos(y)  # loss = sum(sin(y))
+        dd, db_vec = vera_backward_scales(dy, vera, ctx)
+
+        def loss_d(d_):
+            v = VeRAWeights(a=vera.a, b=vera.b, d=d_, b_vec=vera.b_vec,
+                            config=vera.config)
+            out, _ = vera_forward(x, w, v)
+            return float(np.sum(np.sin(out)))
+
+        def loss_b(b_):
+            v = VeRAWeights(a=vera.a, b=vera.b, d=vera.d, b_vec=b_,
+                            config=vera.config)
+            out, _ = vera_forward(x, w, v)
+            return float(np.sum(np.sin(out)))
+
+        np.testing.assert_allclose(dd, numerical_grad(loss_d, vera.d.copy()),
+                                   atol=1e-6)
+        np.testing.assert_allclose(db_vec,
+                                   numerical_grad(loss_b, vera.b_vec.copy()),
+                                   atol=1e-6)
+
+    def test_shape_validation(self, problem):
+        _, _, _, weights = problem
+        with pytest.raises(KernelConfigError):
+            VeRAWeights(a=weights.a, b=weights.b, d=np.ones(R + 1),
+                        b_vec=np.ones(N), config=weights.config)
+
+
+class TestDoRA:
+    def test_unit_magnitude_and_zero_b_is_normalised_base(self, problem):
+        rng, x, w, weights = problem
+        zero_b = LoRAWeights(a=weights.a, b=np.zeros((R, N)),
+                             config=weights.config)
+        magnitude = np.linalg.norm(w, axis=0)
+        y = dora_forward(x, w, zero_b, magnitude)
+        np.testing.assert_allclose(y, x @ w, atol=1e-12)
+
+    def test_magnitude_scales_columns(self, problem):
+        _, x, w, weights = problem
+        base_mag = np.linalg.norm(
+            w + weights.config.alpha * (weights.a @ weights.b), axis=0
+        )
+        y1 = dora_forward(x, w, weights, base_mag)
+        y2 = dora_forward(x, w, weights, 2.0 * base_mag)
+        np.testing.assert_allclose(y2, 2.0 * y1, atol=1e-12)
+
+    def test_bad_magnitude_shape_rejected(self, problem):
+        _, x, w, weights = problem
+        with pytest.raises(KernelConfigError):
+            dora_forward(x, w, weights, np.ones(N + 1))
+
+
+class TestVariantProfiles:
+    SHAPE = LoRAShape(m=4096, k=4096, n=4096, r=16)
+
+    @pytest.mark.parametrize("variant", ["qlora", "vera", "dora"])
+    def test_variant_adds_one_kernel_to_fused_plan(self, variant):
+        profiles = variant_forward_profiles(variant, self.SHAPE)
+        assert len(profiles) == 3  # fused fwd (2) + variant kernel
+
+    def test_qlora_dequant_traffic_is_sub_weight_sized(self):
+        profiles = variant_forward_profiles("qlora", self.SHAPE)
+        dequant = profiles[-1]
+        weight_bytes = self.SHAPE.k * self.SHAPE.n * self.SHAPE.elem_bytes
+        assert dequant.bytes_read < weight_bytes  # reads 4-bit codes
+        assert dequant.bytes_written == weight_bytes
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KernelConfigError):
+            variant_forward_profiles("adapterdrop", self.SHAPE)
+
+    def test_vera_overhead_negligible(self):
+        from repro.gpu import H100, simulate_kernel_sequence
+
+        fused = simulate_kernel_sequence(
+            variant_forward_profiles("vera", self.SHAPE)[:2], H100
+        ).total_time
+        vera = simulate_kernel_sequence(
+            variant_forward_profiles("vera", self.SHAPE), H100
+        ).total_time
+        assert vera / fused < 1.05

@@ -1,0 +1,60 @@
+"""Tests for datasets and global-batch iteration."""
+
+import pytest
+
+from repro.data import FinetuneDataset, Sample, synthetic_dataset
+from repro.errors import ReproError
+
+
+class TestSample:
+    def test_positive_length_required(self):
+        with pytest.raises(ReproError):
+            Sample(adapter_id=0, index=0, length=0)
+
+
+class TestFinetuneDataset:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            FinetuneDataset(adapter_id=0, samples=[])
+
+    def test_lengths_and_totals(self):
+        ds = FinetuneDataset(0, [Sample(0, i, l) for i, l in enumerate([10, 20, 30])])
+        assert len(ds) == 3
+        assert ds.total_tokens() == 60
+        assert ds.mean_length() == 20.0
+
+    def test_global_batches_preserve_order(self):
+        ds = FinetuneDataset(0, [Sample(0, i, 10 + i) for i in range(7)])
+        batches = ds.global_batches(3)
+        assert [len(b) for b in batches] == [3, 3, 1]
+        flat = [s.index for b in batches for s in b]
+        assert flat == list(range(7))
+
+    def test_invalid_gbs_rejected(self):
+        ds = FinetuneDataset(0, [Sample(0, 0, 10)])
+        with pytest.raises(ReproError):
+            ds.global_batches(0)
+
+
+class TestSyntheticDataset:
+    def test_deterministic_per_seed_and_adapter(self):
+        a = synthetic_dataset(0, "xsum", 50, seed=3)
+        b = synthetic_dataset(0, "xsum", 50, seed=3)
+        assert [s.length for s in a.samples] == [s.length for s in b.samples]
+
+    def test_different_adapters_get_different_streams(self):
+        a = synthetic_dataset(0, "xsum", 50, seed=3)
+        b = synthetic_dataset(1, "xsum", 50, seed=3)
+        assert [s.length for s in a.samples] != [s.length for s in b.samples]
+
+    def test_accepts_distribution_object(self):
+        from repro.data import WIKISUM
+
+        ds = synthetic_dataset(2, WIKISUM, 10, seed=1)
+        assert ds.source == "wikisum"
+        assert len(ds) == 10
+
+    def test_sample_metadata(self):
+        ds = synthetic_dataset(5, "mixed", 4, seed=0)
+        assert all(s.adapter_id == 5 for s in ds.samples)
+        assert [s.index for s in ds.samples] == [0, 1, 2, 3]

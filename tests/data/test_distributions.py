@@ -1,0 +1,71 @@
+"""Tests for the synthetic dataset length distributions (Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CNN_DAILYMAIL,
+    MIXED,
+    WIKISUM,
+    XSUM,
+    get_distribution,
+    list_distributions,
+)
+
+
+class TestRegistry:
+    def test_paper_datasets_present(self):
+        assert set(list_distributions()) == {
+            "xsum", "cnn_dailymail", "wikisum", "mixed"
+        }
+
+    def test_lookup(self):
+        assert get_distribution("xsum") is XSUM
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_distribution("c4")
+
+
+class TestShapes:
+    def test_mean_ordering_matches_figure_13(self):
+        # XSum shortest, CNN/DailyMail middle, WikiSum longest.
+        assert XSUM.mean() < CNN_DAILYMAIL.mean() < WIKISUM.mean()
+
+    def test_empirical_means_match_analytical(self):
+        rng = np.random.default_rng(0)
+        for dist in (XSUM, CNN_DAILYMAIL):
+            lengths = dist.sample(20000, rng)
+            assert lengths.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_lengths_clipped(self):
+        rng = np.random.default_rng(1)
+        lengths = WIKISUM.sample(20000, rng)
+        assert lengths.min() >= WIKISUM.min_len
+        assert lengths.max() <= WIKISUM.max_len
+
+    def test_samples_are_integers(self):
+        rng = np.random.default_rng(2)
+        assert XSUM.sample(10, rng).dtype == np.int64
+
+    def test_determinism(self):
+        a = XSUM.sample(100, np.random.default_rng(7))
+        b = XSUM.sample(100, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMixture:
+    def test_mixture_mean_is_average(self):
+        expected = (XSUM.mean() + CNN_DAILYMAIL.mean() + WIKISUM.mean()) / 3
+        assert MIXED.mean() == pytest.approx(expected)
+
+    def test_mixture_has_higher_variance_than_components(self):
+        # The Mix dataset's microbatch variance motivates Figure 6.
+        rng = np.random.default_rng(3)
+        mixed = MIXED.sample(20000, rng)
+        cnn = CNN_DAILYMAIL.sample(20000, np.random.default_rng(3))
+        assert mixed.std() > cnn.std()
+
+    def test_mixture_bounds(self):
+        assert MIXED.min_len == XSUM.min_len
+        assert MIXED.max_len == WIKISUM.max_len

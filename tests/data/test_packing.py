@@ -1,0 +1,102 @@
+"""Tests for the three batching schemes of Figure 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    onthefly_microbatches,
+    pad_batches,
+    padding_waste,
+    prepack_dataset,
+)
+from repro.errors import ReproError
+
+LENGTHS = [100, 300, 50, 400, 250, 120, 80, 500]
+
+
+class TestPadding:
+    def test_pads_to_local_max(self):
+        batches = pad_batches(LENGTHS, microbatch_size=4)
+        assert batches[0].padded_length == 400
+        assert batches[0].total_tokens == 1600
+        assert batches[0].wasted_tokens == 1600 - 850
+
+    def test_preset_length(self):
+        batches = pad_batches(LENGTHS, 4, preset_length=512)
+        assert all(b.padded_length == 512 for b in batches)
+
+    def test_sample_exceeding_preset_rejected(self):
+        with pytest.raises(ReproError):
+            pad_batches(LENGTHS, 4, preset_length=300)
+
+    def test_waste_fraction(self):
+        batches = pad_batches([100, 100], 2)
+        assert padding_waste(batches) == 0.0
+        batches = pad_batches([100, 300], 2)
+        assert padding_waste(batches) == pytest.approx(200 / 600)
+
+
+class TestPrepacking:
+    def test_packs_in_order_until_capacity(self):
+        packs = prepack_dataset(LENGTHS, capacity=500)
+        flat = [l for p in packs for l in p.lengths]
+        assert flat == LENGTHS  # order preserved
+        assert all(p.total_tokens <= 500 for p in packs)
+
+    def test_variable_sample_count(self):
+        # The training-semantics drawback the paper notes.
+        packs = prepack_dataset(LENGTHS, capacity=500)
+        counts = {p.sample_count for p in packs}
+        assert len(counts) > 1
+
+    def test_oversized_sample_rejected(self):
+        with pytest.raises(ReproError):
+            prepack_dataset([600], capacity=500)
+
+
+class TestOnTheFly:
+    def test_deterministic_sample_count(self):
+        mbs = onthefly_microbatches(LENGTHS, 4)
+        assert [len(m) for m in mbs] == [4, 4]
+
+    def test_token_counts_vary(self):
+        # Figure 6: variable tokens per microbatch at fixed sample count.
+        mbs = onthefly_microbatches(LENGTHS, 4)
+        totals = [sum(m) for m in mbs]
+        assert totals[0] != totals[1]
+
+    def test_no_tokens_lost(self):
+        mbs = onthefly_microbatches(LENGTHS, 3)
+        assert sum(sum(m) for m in mbs) == sum(LENGTHS)
+
+
+class TestProperties:
+    @given(
+        lengths=st.lists(st.integers(1, 1000), min_size=1, max_size=50),
+        mbs=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_onthefly_partition_is_exact(self, lengths, mbs):
+        batches = onthefly_microbatches(lengths, mbs)
+        assert [l for b in batches for l in b] == lengths
+
+    @given(
+        lengths=st.lists(st.integers(1, 500), min_size=1, max_size=50),
+        capacity=st.integers(500, 2000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prepack_respects_capacity_and_order(self, lengths, capacity):
+        packs = prepack_dataset(lengths, capacity)
+        assert all(p.total_tokens <= capacity for p in packs)
+        assert [l for p in packs for l in p.lengths] == lengths
+
+    @given(
+        lengths=st.lists(st.integers(1, 500), min_size=1, max_size=50),
+        mbs=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_padding_never_negative(self, lengths, mbs):
+        batches = pad_batches(lengths, mbs)
+        assert all(b.wasted_tokens >= 0 for b in batches)
+        assert 0.0 <= padding_waste(batches) < 1.0

@@ -1,0 +1,65 @@
+"""Tests for the FSDP step simulator."""
+
+import pytest
+
+from repro.distsim import ClusterSpec, simulate_fsdp_step
+from repro.errors import SimulationError
+from repro.gpu import H100
+from repro.models import LLAMA3_70B, LayerCostModel, MicrobatchShape
+
+
+@pytest.fixture
+def cost():
+    return LayerCostModel(LLAMA3_70B, H100, strategy="torch")
+
+
+def cluster(n=4):
+    return ClusterSpec(gpu=H100, num_gpus=n)
+
+
+def shapes(tokens_per_rank, dp=4):
+    return [[MicrobatchShape(t, float(t) ** 2 / 4)] for t in tokens_per_rank[:dp]]
+
+
+class TestFSDPStep:
+    def test_no_ranks_rejected(self, cost):
+        with pytest.raises(SimulationError):
+            simulate_fsdp_step([], cost, cluster())
+
+    def test_step_time_positive(self, cost):
+        result = simulate_fsdp_step(shapes([2048] * 4), cost, cluster())
+        assert result.step_time > 0
+        assert result.compute_time > 0
+
+    def test_slowest_rank_dominates(self, cost):
+        balanced = simulate_fsdp_step(shapes([2048] * 4), cost, cluster())
+        skewed = simulate_fsdp_step(shapes([512, 512, 512, 6144]), cost,
+                                    cluster())
+        # Same total tokens (8192 vs 7680, close), but the skewed step is
+        # gated by the 6144-token rank.
+        assert skewed.step_time > balanced.step_time
+
+    def test_comm_exposed_at_small_batches(self, cost):
+        small = simulate_fsdp_step(shapes([256] * 4), cost, cluster())
+        large = simulate_fsdp_step(shapes([8192] * 4), cost, cluster())
+        # Exposed communication per token shrinks as compute grows: the
+        # Figure 5 overlap effect.
+        assert small.exposed_comm / (4 * 256) > large.exposed_comm / (4 * 8192)
+
+    def test_throughput_grows_with_tokens_per_rank(self, cost):
+        results = {}
+        for tokens in (512, 2048, 8192):
+            r = simulate_fsdp_step(shapes([tokens] * 4), cost, cluster())
+            results[tokens] = 4 * tokens / r.step_time
+        assert results[512] < results[2048] < results[8192]
+
+    def test_single_rank_has_no_comm(self, cost):
+        result = simulate_fsdp_step(shapes([2048], dp=1), cost,
+                                    ClusterSpec(gpu=H100, num_gpus=1))
+        assert result.exposed_comm == pytest.approx(0.0)
+
+    def test_recompute_increases_step_time(self, cost):
+        base = simulate_fsdp_step(shapes([4096] * 4), cost, cluster())
+        recomputed = simulate_fsdp_step(shapes([4096] * 4), cost, cluster(),
+                                        recompute=True)
+        assert recomputed.step_time > base.step_time

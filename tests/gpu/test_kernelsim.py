@@ -1,0 +1,61 @@
+"""Tests for the kernel timeline simulator."""
+
+import pytest
+
+from repro.gpu import H100, KernelProfile, KernelTimeline, simulate_kernel_sequence
+
+
+def make_profiles():
+    return [
+        KernelProfile("a", flops=1e9, bytes_read=1e6, bytes_written=1e6,
+                      category="base_gemm"),
+        KernelProfile("b", flops=0.0, bytes_read=5e7, bytes_written=5e7,
+                      uses_tensor_cores=False, category="elementwise"),
+        KernelProfile("c", flops=2e9, bytes_read=2e6, bytes_written=2e6,
+                      category="base_gemm"),
+    ]
+
+
+class TestTimeline:
+    def test_kernels_execute_back_to_back(self):
+        timeline = simulate_kernel_sequence(make_profiles(), H100)
+        kernels = timeline.kernels
+        assert kernels[0].start == 0.0
+        for prev, cur in zip(kernels, kernels[1:]):
+            assert cur.start == pytest.approx(prev.end)
+
+    def test_total_time_is_sum_of_durations(self):
+        timeline = simulate_kernel_sequence(make_profiles(), H100)
+        assert timeline.total_time == pytest.approx(
+            sum(k.duration for k in timeline.kernels)
+        )
+
+    def test_totals_aggregate_profiles(self):
+        profiles = make_profiles()
+        timeline = simulate_kernel_sequence(profiles, H100)
+        assert timeline.total_flops() == sum(p.flops for p in profiles)
+        assert timeline.total_traffic() == sum(p.bytes_total for p in profiles)
+
+    def test_breakdown_by_category_covers_everything(self):
+        timeline = simulate_kernel_sequence(make_profiles(), H100)
+        breakdown = timeline.breakdown_by("category")
+        assert set(breakdown) == {"base_gemm", "elementwise"}
+        assert sum(breakdown.values()) == pytest.approx(timeline.total_time)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        timeline = simulate_kernel_sequence(make_profiles(), H100)
+        fractions = timeline.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_timeline(self):
+        timeline = KernelTimeline(H100)
+        assert timeline.total_time == 0.0
+        assert timeline.breakdown_fractions() == {}
+
+    def test_incremental_launch_matches_bulk(self):
+        profiles = make_profiles()
+        bulk = simulate_kernel_sequence(profiles, H100)
+        inc = KernelTimeline(H100)
+        for p in profiles:
+            inc.launch(p)
+        assert inc.total_time == pytest.approx(bulk.total_time)

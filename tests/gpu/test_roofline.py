@@ -1,0 +1,110 @@
+"""Tests for the roofline kernel-time estimator."""
+
+import pytest
+
+from repro.gpu import (
+    H100,
+    KernelProfile,
+    arithmetic_intensity,
+    estimate_kernel_time,
+    is_memory_bound,
+    lora_down_projection_intensity,
+)
+
+
+def gemm(m, k, n, e=2):
+    return KernelProfile(
+        name="gemm",
+        flops=2.0 * m * k * n,
+        bytes_read=(m * k + k * n) * e,
+        bytes_written=m * n * e,
+    )
+
+
+class TestArithmeticIntensity:
+    def test_big_gemm_is_compute_bound_on_h100(self):
+        profile = gemm(8192, 4096, 4096)
+        assert not is_memory_bound(profile, H100)
+
+    def test_lora_down_projection_is_memory_bound(self):
+        # X_hat(8192,4096) @ A(4096,16): Section 3.1's bottleneck example.
+        profile = gemm(8192, 4096, 16)
+        assert is_memory_bound(profile, H100)
+
+    def test_equation_2_closed_form(self):
+        # I = 1 / (1/r + 1/n + 1/m) from the paper.  The formula is per
+        # *byte* in half precision: 2*m*n*r flops over 2*(mn + nr + mr)
+        # bytes, with the MAC factor 2 cancelling the element size.
+        m, n, r = 8192, 4096, 16
+        closed_form = lora_down_projection_intensity(m, n, r)
+        profile = gemm(m, n, r)
+        assert arithmetic_intensity(profile) == pytest.approx(closed_form, rel=1e-9)
+
+    def test_intensity_far_below_machine_balance(self):
+        # The paper: I << B (~295) for any realistic r.
+        assert lora_down_projection_intensity(8192, 4096, 32) < 32
+        assert H100.machine_balance() > 290
+
+    def test_zero_traffic_profile_has_infinite_intensity(self):
+        profile = KernelProfile("noop", flops=10.0, bytes_read=0, bytes_written=0)
+        assert arithmetic_intensity(profile) == float("inf")
+
+
+class TestEstimateKernelTime:
+    def test_compute_bound_time_tracks_flops(self):
+        small = gemm(2048, 4096, 4096)
+        large = gemm(8192, 4096, 4096)
+        t_small = estimate_kernel_time(small, H100, include_launch=False)
+        t_large = estimate_kernel_time(large, H100, include_launch=False)
+        assert t_large == pytest.approx(4 * t_small, rel=0.05)
+
+    def test_memory_bound_time_tracks_bytes(self):
+        p1 = KernelProfile("ew", flops=1e6, bytes_read=1e8, bytes_written=1e8,
+                           uses_tensor_cores=False)
+        p2 = KernelProfile("ew", flops=1e6, bytes_read=2e8, bytes_written=2e8,
+                           uses_tensor_cores=False)
+        t1 = estimate_kernel_time(p1, H100, include_launch=False)
+        t2 = estimate_kernel_time(p2, H100, include_launch=False)
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_launch_overhead_included_by_default(self):
+        p = KernelProfile("tiny", flops=0.0, bytes_read=16, bytes_written=16)
+        t = estimate_kernel_time(p, H100)
+        assert t >= H100.kernel_launch_us * 1e-6
+
+    def test_efficiency_scales_slow_the_kernel(self):
+        base = gemm(8192, 4096, 4096)
+        slowed = KernelProfile(
+            name="gemm",
+            flops=base.flops,
+            bytes_read=base.bytes_read,
+            bytes_written=base.bytes_written,
+            gemm_efficiency_scale=0.5,
+        )
+        assert estimate_kernel_time(slowed, H100) > estimate_kernel_time(base, H100)
+
+    def test_extra_latency_is_added(self):
+        p = KernelProfile("sync", flops=0, bytes_read=0, bytes_written=0,
+                          extra_latency_us=100.0)
+        t = estimate_kernel_time(p, H100, include_launch=False)
+        assert t == pytest.approx(100e-6, rel=1e-9)
+
+    def test_elementwise_uses_cuda_core_rate(self):
+        # Same flops, but CUDA-core rate is far below tensor-core rate, so a
+        # flops-heavy elementwise kernel must be slower.
+        flops = 1e12
+        tc = KernelProfile("tc", flops=flops, bytes_read=1, bytes_written=1)
+        ew = KernelProfile("ew", flops=flops, bytes_read=1, bytes_written=1,
+                           uses_tensor_cores=False)
+        assert estimate_kernel_time(ew, H100) > estimate_kernel_time(tc, H100)
+
+
+class TestScaled:
+    def test_scaled_preserves_metadata(self):
+        p = KernelProfile("k", 10.0, 20.0, 30.0, uses_tensor_cores=False,
+                          category="elementwise", mem_efficiency_scale=0.5)
+        q = p.scaled(2.0)
+        assert q.flops == 20.0
+        assert q.bytes_read == 40.0
+        assert q.category == "elementwise"
+        assert q.mem_efficiency_scale == 0.5

@@ -1,0 +1,55 @@
+"""Tests for GPU specs and the machine-balance claim of Section 3.1."""
+
+import pytest
+
+from repro.gpu import BYTES_PER_ELEMENT, GPUSpec, H100, L40S, get_gpu, list_gpus
+
+
+class TestRegistry:
+    def test_h100_lookup(self):
+        assert get_gpu("h100") is H100
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_gpu("H100") is H100
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(KeyError, match="unknown GPU"):
+            get_gpu("tpu-v5")
+
+    def test_list_gpus_contains_paper_devices(self):
+        keys = list_gpus()
+        for key in ("h100", "l40s", "a100-sxm", "a100-pcie", "rtx3090"):
+            assert key in keys
+
+
+class TestMachineBalance:
+    def test_h100_fp16_balance_matches_paper(self):
+        # Section 3.1: "~295 for FP16 on NVIDIA H100 GPUs".
+        assert H100.machine_balance("fp16") == pytest.approx(295.0, rel=0.01)
+
+    def test_l40s_balance_lower_than_h100(self):
+        # L40S has a lower compute-to-bandwidth ratio; the paper notes lower
+        # ratios yield smaller fusion gains.
+        assert L40S.machine_balance("fp16") < H100.machine_balance("fp16")
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(KeyError, match="no tensor-core rate"):
+            H100.peak_flops("int4")
+
+
+class TestDerivedRates:
+    def test_effective_rates_below_peak(self):
+        assert H100.effective_flops() < H100.peak_flops()
+        assert H100.effective_bandwidth() < H100.peak_bandwidth()
+
+    def test_with_overrides_returns_new_spec(self):
+        tweaked = H100.with_overrides(mem_efficiency=0.5)
+        assert tweaked.mem_efficiency == 0.5
+        assert H100.mem_efficiency != 0.5
+        assert isinstance(tweaked, GPUSpec)
+
+    def test_bytes_per_element_covers_training_dtypes(self):
+        assert BYTES_PER_ELEMENT["fp16"] == 2
+        assert BYTES_PER_ELEMENT["bf16"] == 2
+        assert BYTES_PER_ELEMENT["fp32"] == 4
+        assert BYTES_PER_ELEMENT["bool"] == 1

@@ -1,0 +1,27 @@
+"""Shared test utilities: numerical gradients and common fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f(x)
+        flat[i] = orig - eps
+        f_minus = f(x)
+        flat[i] = orig
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def rel_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Max relative error between two arrays (safe near zero)."""
+    denom = np.maximum(np.abs(a) + np.abs(b), 1e-12)
+    return float(np.max(np.abs(a - b) / denom))

@@ -1,0 +1,111 @@
+"""Failure injection: the system must fail loudly on invalid inputs.
+
+A scheduler that silently drops samples or a simulator that silently
+deadlocks would corrupt training; these tests pin the error paths across
+module boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LoRAConfig, LoRALinear, MultiLoRABatch, Segment
+from repro.data import synthetic_dataset
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.distsim import ClusterSpec, PipelineMicrobatch, simulate_stream
+from repro.errors import (
+    CapacityError,
+    KernelConfigError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.gpu import H100
+from repro.scheduler import AdapterJob, MultiLoRAScheduler, SchedulerConfig
+
+
+class TestSchedulerFailures:
+    def test_oversized_sample_fails_loudly(self):
+        samples = [Sample(0, 0, 99999)]
+        jobs = [AdapterJob(0, FinetuneDataset(0, samples), 1)]
+        config = SchedulerConfig(capacity=1024, num_stages=2, use_milp=False)
+        with pytest.raises(CapacityError, match="exceeds microbatch capacity"):
+            MultiLoRAScheduler(jobs, config).schedule()
+
+    def test_capacity_not_multiple_of_padding(self):
+        with pytest.raises(ScheduleError, match="multiple"):
+            SchedulerConfig(capacity=1000, padding_multiple=128)
+
+    def test_no_jobs(self):
+        with pytest.raises(ScheduleError):
+            MultiLoRAScheduler([], SchedulerConfig(capacity=1024))
+
+    def test_schedule_survives_pathological_length_skew(self):
+        # One adapter with maximal samples, one with minimal: must still
+        # schedule every sample exactly once, within capacity.
+        long = FinetuneDataset(0, [Sample(0, i, 8192) for i in range(8)])
+        short = FinetuneDataset(1, [Sample(1, i, 64) for i in range(8)])
+        jobs = [AdapterJob(0, long, 4), AdapterJob(1, short, 4)]
+        config = SchedulerConfig(capacity=8192, num_stages=4, use_milp=False,
+                                 group_size=2)
+        schedule = MultiLoRAScheduler(jobs, config).schedule()
+        for adapter_id in (0, 1):
+            seen = sorted(
+                a.sample.index
+                for mb in schedule.microbatches
+                for a in mb.assignments
+                if a.adapter_id == adapter_id
+            )
+            assert seen == list(range(8))
+        assert all(mb.padded_tokens <= 8192 for mb in schedule.microbatches)
+
+
+class TestSimulatorFailures:
+    def test_deadlock_reported_not_hung(self):
+        # Adjacent batches of one adapter with no spacing: the simulator
+        # must raise, not spin forever.
+        mbs = [
+            PipelineMicrobatch((1.0,) * 4, (2.0,) * 4,
+                               frozenset([(0, i)]))
+            for i in range(4)
+        ]
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate_stream(mbs, 4)
+
+    def test_bad_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(gpu=H100, num_gpus=0)
+
+    def test_stage_width_mismatch_rejected(self):
+        mbs = [PipelineMicrobatch((1.0,), (2.0,))]
+        with pytest.raises(SimulationError, match="stage"):
+            simulate_stream(mbs, 4)
+
+
+class TestKernelFailures:
+    def test_tile_straddling_adapters_rejected(self):
+        with pytest.raises(KernelConfigError, match="aligned"):
+            MultiLoRABatch([Segment(0, 65)], block_m=64)
+
+    def test_forward_with_wrong_width_input(self):
+        layer = LoRALinear(np.zeros((8, 4)), strategy="fused",
+                           rng=np.random.default_rng(0))
+        layer.add_adapter(LoRAConfig(rank=2, dropout=0.0, adapter_id=0))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((4, 9)))  # k mismatch -> matmul error
+
+    def test_missing_adapter(self):
+        layer = LoRALinear(np.zeros((8, 4)))
+        with pytest.raises(KernelConfigError, match="unknown adapter"):
+            layer.forward(np.zeros((4, 8)), adapter_id=3)
+
+
+class TestPlannerFailures:
+    def test_profiler_raises_floor_above_tiny_candidates(self):
+        from repro.planner import propose_capacity
+        from repro.models import LLAMA3_8B
+
+        jobs = [AdapterJob(0, synthetic_dataset(0, "wikisum", 8, seed=1), 4)]
+        report = propose_capacity(jobs, LLAMA3_8B,
+                                  ClusterSpec(gpu=H100, num_gpus=1),
+                                  candidates=(128,))
+        longest = max(s.length for s in jobs[0].dataset.samples)
+        assert report.best_capacity >= longest

@@ -1,0 +1,98 @@
+"""Tests for the per-layer/stage cost model."""
+
+import pytest
+
+from repro.gpu import H100, L40S
+from repro.models import LLAMA3_8B, LLAMA3_70B, LayerCostModel, MicrobatchShape
+
+
+@pytest.fixture
+def cost():
+    return LayerCostModel(LLAMA3_8B, H100, strategy="torch")
+
+
+def shape(tokens, lengths=None):
+    if lengths is None:
+        lengths = [tokens]
+    return MicrobatchShape.from_lengths(lengths)
+
+
+class TestMicrobatchShape:
+    def test_from_lengths(self):
+        s = MicrobatchShape.from_lengths([100, 200], num_adapters=2)
+        assert s.tokens == 300
+        assert s.sum_sq_len == 100**2 + 200**2
+        assert s.num_adapters == 2
+
+
+class TestLayerTime:
+    def test_forward_scales_roughly_linearly_in_tokens(self, cost):
+        t1 = cost.layer_time(shape(2048), "forward")
+        t2 = cost.layer_time(shape(4096, [2048, 2048]), "forward")
+        assert t2 == pytest.approx(2 * t1, rel=0.2)
+
+    def test_backward_costs_more_than_forward(self, cost):
+        s = shape(4096)
+        assert cost.layer_time(s, "backward") > cost.layer_time(s, "forward")
+
+    def test_attention_quadratic_in_sample_length(self, cost):
+        # Same token count, one long sample vs many short ones.
+        packed = cost.layer_time(shape(8192, [512] * 16), "forward")
+        single = cost.layer_time(shape(8192, [8192]), "forward")
+        assert single > packed
+
+    def test_fused_strategy_is_faster(self):
+        torch_cost = LayerCostModel(LLAMA3_8B, H100, strategy="torch")
+        fused_cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused")
+        s = shape(8192)
+        for direction in ("forward", "backward"):
+            assert fused_cost.layer_time(s, direction) < torch_cost.layer_time(
+                s, direction
+            )
+
+    def test_layerwise_speedup_in_paper_band(self):
+        # Figure 18: FusedLoRA layer-wise speedup averages ~1.21x (<=1.30).
+        torch_cost = LayerCostModel(LLAMA3_8B, H100, strategy="torch")
+        fused_cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused")
+        s = shape(8192, [512] * 16)
+        speedup = (
+            torch_cost.layer_time(s, "forward") + torch_cost.layer_time(s, "backward")
+        ) / (
+            fused_cost.layer_time(s, "forward") + fused_cost.layer_time(s, "backward")
+        )
+        assert 1.10 <= speedup <= 1.45
+
+    def test_multi_fallback_for_single_adapter(self):
+        multi = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+        fused = LayerCostModel(LLAMA3_8B, H100, strategy="fused")
+        s = shape(4096)  # num_adapters == 1
+        assert multi.layer_time(s, "forward") == pytest.approx(
+            fused.layer_time(s, "forward")
+        )
+
+    def test_l40s_slower_than_h100(self):
+        h = LayerCostModel(LLAMA3_8B, H100)
+        l = LayerCostModel(LLAMA3_8B, L40S)
+        s = shape(4096)
+        assert l.layer_time(s, "forward") > h.layer_time(s, "forward")
+
+
+class TestStageTime:
+    def test_last_stage_pays_for_head(self, cost):
+        s = shape(4096)
+        plain = cost.stage_time(s, "forward", 8)
+        with_head = cost.stage_time(s, "forward", 8, last_stage=True)
+        assert with_head > plain
+
+    def test_zero_tokens_is_free(self, cost):
+        assert cost.stage_time(MicrobatchShape(0, 0.0), "forward", 8) == 0.0
+
+    def test_bigger_model_costs_more(self):
+        small = LayerCostModel(LLAMA3_8B, H100)
+        large = LayerCostModel(LLAMA3_70B, H100)
+        s = shape(4096)
+        assert large.layer_time(s, "forward") > 2 * small.layer_time(s, "forward")
+
+    def test_optimizer_step_is_cheap(self, cost):
+        # Adapter-only AdamW: far below one layer's work.
+        assert cost.optimizer_step_time() < cost.layer_time(shape(4096), "forward")

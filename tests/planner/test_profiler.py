@@ -1,0 +1,61 @@
+"""Tests for the parallelism profiler (capacity proposal)."""
+
+import pytest
+
+from repro.data import synthetic_dataset
+from repro.distsim import ClusterSpec
+from repro.errors import ScheduleError
+from repro.gpu import H100
+from repro.models import LLAMA3_70B
+from repro.planner import min_required_capacity, propose_capacity
+from repro.scheduler import AdapterJob
+
+
+def jobs_for(dataset, samples=16, gbs=8, n=4):
+    return [
+        AdapterJob(a, synthetic_dataset(a, dataset, samples, seed=5), gbs)
+        for a in range(n)
+    ]
+
+
+CLUSTER = ClusterSpec(gpu=H100, num_gpus=4)
+
+
+class TestMinRequiredCapacity:
+    def test_covers_longest_sample_padded(self):
+        jobs = jobs_for("wikisum")
+        longest = max(s.length for j in jobs for s in j.dataset.samples)
+        floor = min_required_capacity(jobs, 64)
+        assert floor >= longest
+        assert floor % 64 == 0
+
+
+class TestProposeCapacity:
+    def test_requires_jobs(self):
+        with pytest.raises(ScheduleError):
+            propose_capacity([], LLAMA3_70B, CLUSTER)
+
+    def test_short_dataset_prefers_small_capacity(self):
+        report = propose_capacity(jobs_for("xsum"), LLAMA3_70B, CLUSTER,
+                                  candidates=(2048, 4096, 8192, 16384))
+        assert report.best_capacity <= 8192
+
+    def test_long_dataset_respects_sample_floor(self):
+        report = propose_capacity(jobs_for("wikisum"), LLAMA3_70B, CLUSTER,
+                                  candidates=(2048, 8192))
+        floor = min_required_capacity(jobs_for("wikisum"), 64)
+        assert report.best_capacity >= floor
+
+    def test_best_is_argmax_of_candidates(self):
+        report = propose_capacity(jobs_for("mixed"), LLAMA3_70B, CLUSTER,
+                                  candidates=(4096, 8192))
+        best = max(report.candidates, key=lambda c: c.tokens_per_second)
+        assert report.best_capacity == best.capacity
+
+    def test_candidates_deduplicated_after_floor(self):
+        # Both candidates below the floor collapse to one probe.
+        jobs = jobs_for("wikisum")
+        floor = min_required_capacity(jobs, 64)
+        report = propose_capacity(jobs, LLAMA3_70B, CLUSTER,
+                                  candidates=(64, 128))
+        assert [c.capacity for c in report.candidates] == [floor]

@@ -1,0 +1,100 @@
+"""Tests for bubble-lemma verification and no-op insertion."""
+
+from repro.data.dataset import Sample
+from repro.scheduler import (
+    Assignment,
+    Microbatch,
+    dependency_gap,
+    find_violations,
+    insert_noops,
+)
+
+
+def mb_for(aid, batch, length=100):
+    mb = Microbatch(capacity=1024, padding_multiple=64)
+    mb.add(Assignment(Sample(aid, 0, length), batch))
+    return mb
+
+
+class TestDependencyGap:
+    def test_at_least_one(self):
+        assert dependency_gap(1) == 1
+
+    def test_grows_with_stages(self):
+        assert dependency_gap(4) == 4
+        assert dependency_gap(8) == 8
+
+
+class TestFindViolations:
+    def test_clean_schedule_has_none(self):
+        gap = dependency_gap(4)
+        schedule = [mb_for(0, 0)] + [mb_for(1, 0)] * gap + [mb_for(0, 1)]
+        assert find_violations(schedule, 4) == []
+
+    def test_adjacent_batches_flagged(self):
+        schedule = [mb_for(0, 0), mb_for(0, 1)]
+        violations = find_violations(schedule, 4)
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.adapter_id, v.batch) == (0, 1)
+        assert v.position == 1
+        assert v.required == dependency_gap(4)
+
+    def test_different_adapters_do_not_conflict(self):
+        schedule = [mb_for(0, 0), mb_for(1, 0), mb_for(0, 1, 50)]
+        # adapter 0 batch 1 at position 2 needs position >= 0 + gap(4)=4.
+        violations = find_violations(schedule, 4)
+        assert [v.adapter_id for v in violations] == [0]
+
+    def test_non_consecutive_batches_not_checked(self):
+        # batch 0 then batch 2 (batch 1 absent): no constraint applies.
+        schedule = [mb_for(0, 0), mb_for(0, 2)]
+        assert find_violations(schedule, 4) == []
+
+
+class TestInsertNoops:
+    def test_inserts_exactly_enough(self):
+        schedule = [mb_for(0, 0), mb_for(0, 1)]
+        fixed, inserted = insert_noops(schedule, 4)
+        assert inserted == dependency_gap(4) - 1
+        assert find_violations(fixed, 4) == []
+
+    def test_no_insertion_when_clean(self):
+        gap = dependency_gap(4)
+        schedule = [mb_for(0, 0)] + [mb_for(1, 0)] * gap + [mb_for(0, 1)]
+        fixed, inserted = insert_noops(schedule, 4)
+        assert inserted == 0
+        assert len(fixed) == len(schedule)
+
+    def test_noops_are_empty(self):
+        fixed, _ = insert_noops([mb_for(0, 0), mb_for(0, 1)], 4)
+        noops = [mb for mb in fixed if mb.is_noop]
+        assert noops
+        assert all(not mb.assignments for mb in noops)
+
+    def test_real_microbatch_order_preserved(self):
+        schedule = [mb_for(0, 0), mb_for(1, 0), mb_for(0, 1), mb_for(1, 1)]
+        fixed, _ = insert_noops(schedule, 3)
+        real = [mb for mb in fixed if not mb.is_noop]
+        assert [
+            (a.adapter_id, a.global_batch)
+            for mb in real
+            for a in mb.assignments
+        ] == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_single_stage_still_separates_batches(self):
+        # Even without a pipeline, consecutive batches of one adapter must
+        # not share a position (gap >= 1).
+        schedule = [mb_for(0, 0), mb_for(0, 1)]
+        fixed, inserted = insert_noops(schedule, 1)
+        assert inserted == 0  # already 1 apart
+        assert find_violations(fixed, 1) == []
+
+    def test_multiple_adapters_interleaved_chain(self):
+        schedule = []
+        for step in range(3):
+            schedule.append(mb_for(0, step))
+            schedule.append(mb_for(1, step))
+        fixed, inserted = insert_noops(schedule, 4)
+        assert find_violations(fixed, 4) == []
+        assert inserted > 0

@@ -1,0 +1,57 @@
+"""Tests for head-tail adapter grouping."""
+
+import pytest
+
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.errors import ScheduleError
+from repro.scheduler import AdapterJob, head_tail_groups
+
+
+def job(aid, mean_length, count=8):
+    samples = [Sample(aid, i, mean_length) for i in range(count)]
+    return AdapterJob(aid, FinetuneDataset(aid, samples), global_batch_size=4)
+
+
+class TestHeadTailGroups:
+    def test_four_jobs_pair_short_with_long(self):
+        jobs = [job(0, 400), job(1, 900), job(2, 2000), job(3, 1200)]
+        groups = head_tail_groups(jobs, group_size=2)
+        assert len(groups) == 2
+        # First group: shortest (400) with longest (2000).
+        ids = [{j.adapter_id for j in g} for g in groups]
+        assert {0, 2} in ids
+        assert {1, 3} in ids
+
+    def test_group_members_sorted_short_first(self):
+        jobs = [job(0, 2000), job(1, 400)]
+        groups = head_tail_groups(jobs, group_size=2)
+        assert [j.adapter_id for j in groups[0]] == [1, 0]
+
+    def test_odd_job_count(self):
+        jobs = [job(i, 100 * (i + 1)) for i in range(5)]
+        groups = head_tail_groups(jobs, group_size=2)
+        assert sum(len(g) for g in groups) == 5
+        assert len(groups) == 3
+
+    def test_group_size_one(self):
+        jobs = [job(0, 400), job(1, 900)]
+        groups = head_tail_groups(jobs, group_size=1)
+        assert [len(g) for g in groups] == [1, 1]
+
+    def test_every_job_appears_exactly_once(self):
+        jobs = [job(i, 100 + 37 * i) for i in range(7)]
+        groups = head_tail_groups(jobs, group_size=3)
+        ids = sorted(j.adapter_id for g in groups for j in g)
+        assert ids == list(range(7))
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ScheduleError):
+            head_tail_groups([], 2)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ScheduleError):
+            head_tail_groups([job(0, 100), job(0, 200)], 2)
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ScheduleError):
+            head_tail_groups([job(0, 100)], 0)

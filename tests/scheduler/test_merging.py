@@ -1,0 +1,105 @@
+"""Tests for the cross-batch merge pass."""
+
+from repro.data.dataset import Sample
+from repro.scheduler import Assignment, Microbatch, find_violations, merge_pass
+
+
+def make_mb(entries, group, step, capacity=1024):
+    mb = Microbatch(capacity=capacity, padding_multiple=64, group=group,
+                    step=step)
+    for aid, idx, length, batch in entries:
+        mb.add(Assignment(Sample(aid, idx, length), batch))
+    return mb
+
+
+class TestMergePass:
+    def test_merges_small_next_batch_bin_into_underfilled_tail(self):
+        # Group 0 step 0: two bins with room; step 1: a full bin and a tiny
+        # one.  Single-stage pipeline (gap 1): the tiny step-1 bin can merge
+        # back into step 0's tail as long as it lands after step 0.
+        schedule = [
+            make_mb([(0, 0, 900, 0)], 0, 0),
+            make_mb([(0, 1, 100, 0)], 0, 0),
+            make_mb([(0, 2, 900, 1)], 0, 1),
+            make_mb([(0, 3, 100, 1)], 0, 1),
+        ]
+        merged, merges = merge_pass(schedule, num_stages=1)
+        # gap(1) = 1: a batch-1 sample may not move to a position <=
+        # last(batch 0); targets are batch-0 positions, so nothing merges
+        # for the same adapter at gap >= 1 unless the adapter's batch-0
+        # samples end earlier than the target.
+        assert merges == 0
+        assert len(merged) == 4
+
+    def test_merge_happens_when_gap_allows(self):
+        # Adapter 0's batch-0 samples end early; adapter 1 occupies the
+        # tail positions.  A small batch-1 bin of adapter 0 can then merge
+        # into the final step-0 microbatch.
+        schedule = [
+            make_mb([(0, 0, 900, 0)], 0, 0),
+            make_mb([(1, 0, 900, 0)], 0, 0),
+            make_mb([(1, 1, 100, 0)], 0, 0),
+            make_mb([(0, 1, 100, 1), (1, 2, 64, 1)], 0, 1),
+            make_mb([(0, 2, 900, 1)], 0, 1),
+        ]
+        merged, merges = merge_pass(schedule, num_stages=2)
+        if merges:
+            assert len(merged) == len(schedule) - merges
+            assert find_violations(merged, 2) == []
+
+    def test_never_dissolves_last_region_bin(self):
+        schedule = [
+            make_mb([(0, 0, 100, 0)], 0, 0),
+            make_mb([(0, 1, 100, 1)], 0, 1),
+        ]
+        merged, merges = merge_pass(schedule, num_stages=1)
+        assert merges == 0
+        assert len(merged) == 2
+
+    def test_capacity_blocks_merge(self):
+        schedule = [
+            make_mb([(0, 0, 1000, 0)], 0, 0),
+            make_mb([(1, 0, 1000, 0)], 0, 0),
+            make_mb([(1, 1, 1000, 1)], 0, 1),
+            make_mb([(1, 2, 1000, 1)], 0, 1),
+        ]
+        merged, merges = merge_pass(schedule, num_stages=1)
+        assert merges == 0
+
+    def test_total_samples_preserved(self):
+        schedule = [
+            make_mb([(0, 0, 800, 0)], 0, 0),
+            make_mb([(1, 0, 800, 0)], 0, 0),
+            make_mb([(1, 1, 64, 0)], 0, 0),
+            make_mb([(0, 1, 64, 1)], 0, 1),
+            make_mb([(0, 2, 800, 1)], 0, 1),
+        ]
+        before = sorted(
+            (a.adapter_id, a.sample.index, a.global_batch)
+            for mb in schedule
+            for a in mb.assignments
+        )
+        merged, _ = merge_pass(schedule, num_stages=2)
+        after = sorted(
+            (a.adapter_id, a.sample.index, a.global_batch)
+            for mb in merged
+            for a in mb.assignments
+        )
+        assert after == before
+
+    def test_merged_samples_keep_global_batch_index(self):
+        schedule = [
+            make_mb([(0, 0, 800, 0)], 0, 0),
+            make_mb([(1, 0, 800, 0)], 0, 0),
+            make_mb([(1, 1, 64, 0)], 0, 0),
+            make_mb([(0, 1, 64, 1)], 0, 1),
+            make_mb([(0, 2, 800, 1)], 0, 1),
+        ]
+        merged, merges = merge_pass(schedule, num_stages=2)
+        batches_of_adapter0 = sorted(
+            a.global_batch
+            for mb in merged
+            for a in mb.assignments
+            if a.adapter_id == 0
+        )
+        assert batches_of_adapter0 == [0, 1, 1]

@@ -1,0 +1,121 @@
+"""Tests for the two-stage MILP bin packing (Equations 3 and 4)."""
+
+import pytest
+
+from repro.data.dataset import Sample
+from repro.scheduler import greedy_pack, milp_pack, pack_global_batch
+
+
+def entries(lengths, aid=0, batch=0):
+    return [(Sample(aid, i, l), batch) for i, l in enumerate(lengths)]
+
+
+def mixed_entries(spec, batch=0):
+    """spec: list of (adapter_id, length)."""
+    out = []
+    counters = {}
+    for aid, length in spec:
+        idx = counters.get(aid, 0)
+        counters[aid] = idx + 1
+        out.append((Sample(aid, idx, length), batch))
+    return out
+
+
+class TestStage1:
+    def test_beats_greedy_on_adversarial_instance(self):
+        # Lengths (x64): [5,5,4,4,3,3] into capacity 8x64. FFD needs 4 bins
+        # (5+3, 5+3, 4+4, ...) -> actually FFD: 5,5,4,4,3,3 -> [5,3],[5,3],
+        # [4,4] = 3 bins; craft a case where FFD is suboptimal:
+        # [7,6,5,4,3,3] cap 14: FFD -> [7,6],[5,4,3],[3] = 3 bins;
+        # optimal -> [7,4,3],[6,5,3] = 2 bins.
+        lengths = [l * 64 for l in (7, 6, 5, 4, 3, 3)]
+        capacity = 14 * 64
+        greedy = greedy_pack(entries(lengths), capacity, 64)
+        assert len(greedy) == 3
+        result = milp_pack(entries(lengths), capacity, 64,
+                           max_bins=len(greedy), timeout=10.0)
+        assert result.microbatches is not None
+        assert result.num_bins == 2
+
+    def test_single_bin_returns_none(self):
+        result = milp_pack(entries([100, 100]), 1024, 64, max_bins=1)
+        assert result.microbatches is None
+
+    def test_empty_returns_none(self):
+        result = milp_pack([], 1024, 64, max_bins=3)
+        assert result.microbatches is None
+
+    def test_all_samples_assigned_once(self):
+        lengths = [l * 64 for l in (7, 6, 5, 4, 3, 3)]
+        result = milp_pack(entries(lengths), 14 * 64, 64, max_bins=3,
+                           timeout=10.0)
+        placed = sorted(
+            a.sample.index
+            for mb in result.microbatches
+            for a in mb.assignments
+        )
+        assert placed == list(range(6))
+
+    def test_capacity_respected(self):
+        lengths = [l * 64 for l in (7, 6, 5, 4, 3, 3)]
+        result = milp_pack(entries(lengths), 14 * 64, 64, max_bins=3,
+                           timeout=10.0)
+        assert all(mb.padded_tokens <= 14 * 64 for mb in result.microbatches)
+
+
+class TestStage2:
+    def test_smallest_bin_is_last_and_minimised(self):
+        # Two bins forced; stage 2 should concentrate tokens to leave the
+        # final bin as empty as possible.
+        lengths = [l * 64 for l in (6, 5, 3, 2)]
+        capacity = 16 * 64  # everything could fit in one bin of 16
+        # Force two bins by using max_bins from a capacity-8 greedy.
+        greedy = greedy_pack(entries(lengths), 8 * 64, 64)
+        result = milp_pack(entries(lengths), 8 * 64, 64,
+                           max_bins=len(greedy), timeout=10.0)
+        assert result.microbatches is not None
+        sizes = [mb.padded_tokens for mb in result.microbatches]
+        assert sizes == sorted(sizes, reverse=True)
+        assert result.min_bin_tokens == min(sizes)
+
+    def test_multi_adapter_padding_multiples_respected(self):
+        spec = [(0, 100), (0, 60), (1, 90), (1, 130), (2, 200)]
+        result = milp_pack(mixed_entries(spec), 256, 64, max_bins=4,
+                           timeout=10.0)
+        if result.microbatches is None:
+            pytest.skip("solver declined; greedy fallback covers this")
+        for mb in result.microbatches:
+            assert mb.padded_tokens <= 256
+            for padded in mb.padded_tokens_by_adapter().values():
+                assert padded % 64 == 0
+
+
+class TestAlgorithm1Selection:
+    def test_pack_global_batch_prefers_strictly_better_milp(self):
+        lengths = [l * 64 for l in (7, 6, 5, 4, 3, 3)]
+        bins, method = pack_global_batch(entries(lengths), 14 * 64, 64,
+                                         use_milp=True, milp_timeout=10.0)
+        assert method == "milp"
+        assert len(bins) == 2
+
+    def test_pack_global_batch_greedy_when_disabled(self):
+        bins, method = pack_global_batch(entries([100, 200]), 1024, 64,
+                                         use_milp=False, milp_timeout=1.0)
+        assert method == "greedy"
+
+    def test_greedy_kept_when_milp_no_better(self):
+        # Uniform items: greedy is already optimal in bins and min-bin.
+        lengths = [512] * 4
+        bins, method = pack_global_batch(entries(lengths), 1024, 64,
+                                         use_milp=True, milp_timeout=10.0)
+        assert len(bins) == 2
+        # Either answer is 2 bins; Algorithm 1 line 8 prefers greedy when
+        # the MILP min-bin is not strictly smaller.
+        assert method == "greedy"
+
+    def test_tiny_timeout_falls_back_to_greedy(self):
+        lengths = [64 * (i % 7 + 1) for i in range(30)]
+        bins, method = pack_global_batch(entries(lengths), 512, 64,
+                                         use_milp=True, milp_timeout=1e-9)
+        assert method == "greedy"
+        assert bins

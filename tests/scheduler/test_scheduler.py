@@ -1,0 +1,179 @@
+"""End-to-end tests for the multi-LoRA scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_dataset
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.errors import ScheduleError
+from repro.scheduler import (
+    AdapterJob,
+    MultiLoRAScheduler,
+    SchedulerConfig,
+    dependency_gap,
+    find_violations,
+)
+
+
+def make_jobs(num_adapters=4, samples=32, gbs=8, datasets=None, seed=1):
+    datasets = datasets or ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+    return [
+        AdapterJob(a, synthetic_dataset(a, datasets[a % len(datasets)],
+                                        samples, seed=seed), gbs)
+        for a in range(num_adapters)
+    ]
+
+
+def fast_config(**overrides):
+    defaults = dict(capacity=8192, padding_multiple=64, num_stages=4,
+                    use_milp=False)
+    defaults.update(overrides)
+    return SchedulerConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_capacity_multiple_of_padding(self):
+        with pytest.raises(ScheduleError):
+            SchedulerConfig(capacity=1000, padding_multiple=64)
+
+    def test_auto_group_size(self):
+        cfg = SchedulerConfig(capacity=8192)
+        assert cfg.resolved_group_size(1) == 1
+        assert cfg.resolved_group_size(2) == 1
+        assert cfg.resolved_group_size(3) == 1
+        assert cfg.resolved_group_size(4) == 2
+        assert cfg.resolved_group_size(8) == 4
+
+    def test_explicit_group_size_wins(self):
+        cfg = SchedulerConfig(capacity=8192, group_size=3)
+        assert cfg.resolved_group_size(8) == 3
+
+    def test_duplicate_jobs_rejected(self):
+        jobs = make_jobs(2)
+        dup = [jobs[0], jobs[0]]
+        with pytest.raises(ScheduleError):
+            MultiLoRAScheduler(dup, fast_config())
+
+
+class TestScheduleInvariants:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        jobs = make_jobs()
+        return jobs, MultiLoRAScheduler(jobs, fast_config()).schedule()
+
+    def test_every_sample_scheduled_exactly_once(self, schedule):
+        jobs, sched = schedule
+        for job in jobs:
+            seen = sorted(
+                a.sample.index
+                for mb in sched.microbatches
+                for a in mb.assignments
+                if a.adapter_id == job.adapter_id
+            )
+            assert seen == list(range(len(job.dataset)))
+
+    def test_capacity_respected(self, schedule):
+        _, sched = schedule
+        for mb in sched.microbatches:
+            assert mb.padded_tokens <= 8192
+
+    def test_bubble_lemma_holds(self, schedule):
+        _, sched = schedule
+        assert find_violations(sched.microbatches, 4) == []
+
+    def test_global_batch_order_preserved_per_adapter(self, schedule):
+        jobs, sched = schedule
+        for job in jobs:
+            batches = [b for b, _ in sched.adapter_sample_order(job.adapter_id)]
+            assert batches == sorted(batches)
+
+    def test_samples_carry_correct_batch_index(self, schedule):
+        jobs, sched = schedule
+        for job in jobs:
+            gbs = job.global_batch_size
+            for mb in sched.microbatches:
+                for a in mb.assignments:
+                    if a.adapter_id == job.adapter_id:
+                        assert a.global_batch == a.sample.index // gbs
+
+    def test_stats_populated(self, schedule):
+        _, sched = schedule
+        stats = sched.stats
+        assert stats["groups"] == 2.0
+        assert stats["packing_tasks"] > 0
+        assert stats["microbatches"] == len(sched)
+        assert stats["tuning_seconds"] > 0
+
+
+class TestMILPPath:
+    def test_milp_selected_for_some_batches(self):
+        jobs = make_jobs(samples=16, gbs=8)
+        sched = MultiLoRAScheduler(
+            jobs, fast_config(use_milp=True, milp_timeout=2.0, capacity=4096)
+        ).schedule()
+        assert sched.stats["milp_selected_frac"] >= 0.0
+        assert find_violations(sched.microbatches, 4) == []
+
+    def test_milp_never_uses_more_microbatches_than_greedy(self):
+        jobs = make_jobs(samples=16, gbs=8)
+        greedy = MultiLoRAScheduler(jobs, fast_config(capacity=4096,
+                                                      use_merge=False)).schedule()
+        milp = MultiLoRAScheduler(
+            jobs, fast_config(use_milp=True, milp_timeout=2.0, capacity=4096,
+                              use_merge=False)
+        ).schedule()
+        assert len(milp) <= len(greedy)
+
+
+class TestParallelPacking:
+    def test_multiprocessing_matches_inline(self):
+        jobs = make_jobs(samples=16, gbs=8)
+        inline = MultiLoRAScheduler(jobs, fast_config()).schedule()
+        parallel = MultiLoRAScheduler(jobs, fast_config(max_workers=2)).schedule()
+        assert len(inline) == len(parallel)
+        for a, b in zip(inline.microbatches, parallel.microbatches):
+            key = lambda mb: sorted(
+                (x.adapter_id, x.sample.index) for x in mb.assignments
+            )
+            assert key(a) == key(b)
+
+
+class TestSingleJob:
+    def test_single_adapter_gets_noops(self):
+        # With one adapter there is no other group to fill the dependency
+        # gap, so no-ops appear -- the Figure 20 "1 adapter" scenario.
+        jobs = make_jobs(1, samples=16, gbs=4, datasets=["cnn_dailymail"])
+        sched = MultiLoRAScheduler(jobs, fast_config(capacity=2048)).schedule()
+        assert sched.stats["noops_inserted"] > 0
+        assert find_violations(sched.microbatches, 4) == []
+
+
+class TestPropertyBased:
+    @given(
+        num_adapters=st.integers(1, 5),
+        gbs=st.integers(2, 8),
+        samples=st.integers(4, 20),
+        stages=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_invariants_hold_for_random_workloads(
+        self, num_adapters, gbs, samples, stages, seed
+    ):
+        jobs = make_jobs(num_adapters, samples=samples, gbs=gbs, seed=seed)
+        config = SchedulerConfig(capacity=8192, num_stages=stages,
+                                 use_milp=False)
+        sched = MultiLoRAScheduler(jobs, config).schedule()
+        assert find_violations(sched.microbatches, stages) == []
+        for job in jobs:
+            seen = sorted(
+                a.sample.index
+                for mb in sched.microbatches
+                for a in mb.assignments
+                if a.adapter_id == job.adapter_id
+            )
+            assert seen == list(range(samples))
+            batches = [b for b, _ in sched.adapter_sample_order(job.adapter_id)]
+            assert batches == sorted(batches)
+        assert all(mb.padded_tokens <= 8192 for mb in sched.microbatches)

@@ -1,0 +1,91 @@
+"""Tests for scheduler datatypes: microbatch token accounting."""
+
+import pytest
+
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.errors import CapacityError, ScheduleError
+from repro.scheduler import AdapterJob, Assignment, Microbatch, Schedule
+
+
+def sample(aid, idx, length):
+    return Sample(adapter_id=aid, index=idx, length=length)
+
+
+class TestAdapterJob:
+    def test_dataset_ownership_checked(self):
+        ds = FinetuneDataset(1, [sample(1, 0, 100)])
+        with pytest.raises(ScheduleError):
+            AdapterJob(adapter_id=2, dataset=ds, global_batch_size=4)
+
+    def test_num_global_batches(self):
+        ds = FinetuneDataset(0, [sample(0, i, 10) for i in range(10)])
+        job = AdapterJob(0, ds, global_batch_size=4)
+        assert job.num_global_batches() == 3
+
+
+class TestMicrobatchAccounting:
+    def test_padding_rounds_per_adapter(self):
+        mb = Microbatch(capacity=1024, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 100), 0))
+        mb.add(Assignment(sample(0, 1, 27), 0))
+        mb.add(Assignment(sample(1, 0, 65), 0))
+        # adapter 0: 127 -> 128; adapter 1: 65 -> 128.
+        assert mb.padded_tokens_by_adapter() == {0: 128, 1: 128}
+        assert mb.padded_tokens == 256
+        assert mb.real_tokens == 192
+
+    def test_capacity_enforced_on_padded_tokens(self):
+        mb = Microbatch(capacity=128, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 60), 0))
+        # 60 real tokens pad to 64; adding a second adapter's 70 tokens
+        # pads to 128 -> 192 total > 128 capacity.
+        assert not mb.fits(sample(1, 0, 70))
+        with pytest.raises(CapacityError):
+            mb.add(Assignment(sample(1, 0, 70), 0))
+
+    def test_same_adapter_shares_padding_slack(self):
+        mb = Microbatch(capacity=128, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 60), 0))
+        # Same adapter: 60 + 4 = 64 padded, no new padding granule.
+        assert mb.fits(sample(0, 1, 4))
+
+    def test_noop_detection(self):
+        assert Microbatch().is_noop
+        mb = Microbatch(capacity=64, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 10), 0))
+        assert not mb.is_noop
+
+    def test_shape_reports_padded_tokens_and_adapters(self):
+        mb = Microbatch(capacity=1024, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 100), 0))
+        mb.add(Assignment(sample(1, 0, 50), 0))
+        shape = mb.shape()
+        assert shape.tokens == mb.padded_tokens
+        assert shape.num_adapters == 2
+        assert shape.sum_sq_len == 100**2 + 50**2
+
+    def test_batches_by_adapter(self):
+        mb = Microbatch(capacity=1024, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 10), 3))
+        mb.add(Assignment(sample(0, 1, 10), 4))
+        mb.add(Assignment(sample(1, 0, 10), 3))
+        assert mb.batches_by_adapter() == {0: {3, 4}, 1: {3}}
+
+
+class TestSchedule:
+    def test_adapter_sample_order(self):
+        mb1 = Microbatch(capacity=256, padding_multiple=64)
+        mb1.add(Assignment(sample(0, 1, 10), 0))
+        mb2 = Microbatch(capacity=256, padding_multiple=64)
+        mb2.add(Assignment(sample(0, 5, 10), 1))
+        schedule = Schedule(microbatches=[mb1, mb2])
+        assert schedule.adapter_sample_order(0) == [(0, 1), (1, 5)]
+        assert schedule.adapter_sample_order(9) == []
+
+    def test_token_totals(self):
+        mb = Microbatch(capacity=256, padding_multiple=64)
+        mb.add(Assignment(sample(0, 0, 100), 0))
+        schedule = Schedule(microbatches=[mb, Microbatch()])
+        assert schedule.total_tokens == 100
+        assert schedule.total_padded_tokens == 128
+        assert len(schedule) == 2
