@@ -1,0 +1,109 @@
+"""Online multi-tenant serving, end to end and numerically exact.
+
+Tenants submit LoRA fine-tuning jobs over time.  The orchestrator admits
+them against an adapter-slot budget, re-plans the microbatch schedule at
+every window boundary over the live jobs only, splices each window into
+the in-flight stream without violating the bubble lemma, and retires
+tenants the moment their last optimizer step lands.  Despite all that
+churn, every tenant's final adapter weights are *bit-identical* to
+training the tenant alone -- losslessness, online.
+
+Run:  python examples/online_serving.py
+"""
+
+import numpy as np
+
+from repro.baselines import train_job_sequentially
+from repro.core.lora import LoRAConfig
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.models import TINY, TinyLoRATransformer
+from repro.runtime import MultiLoRAEngine, NumericJob
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import (
+    NumericExecutor,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    ServeJob,
+    SlotAdmission,
+)
+
+
+def make_tenant(rng, adapter_id, rank, num_samples, gbs, arrival):
+    streams = [
+        rng.integers(0, TINY.vocab_size, int(rng.integers(6, 16)))
+        for _ in range(num_samples)
+    ]
+    numeric = NumericJob(
+        adapter_id=adapter_id,
+        lora=LoRAConfig(rank=rank, alpha=1.0, dropout=0.0,
+                        adapter_id=adapter_id),
+        token_streams=streams,
+        global_batch_size=gbs,
+    )
+    dataset = FinetuneDataset(
+        adapter_id,
+        [Sample(adapter_id, i, len(t)) for i, t in enumerate(streams)],
+    )
+    return ServeJob(
+        job=AdapterJob(adapter_id, dataset, gbs),
+        arrival_time=arrival,
+        numeric=numeric,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    workload = [
+        make_tenant(rng, 0, 2, 8, 2, arrival=0.0),
+        make_tenant(rng, 1, 4, 8, 4, arrival=0.0),
+        make_tenant(rng, 2, 3, 6, 3, arrival=250.0),  # arrives mid-stream
+        make_tenant(rng, 3, 2, 6, 2, arrival=600.0),  # arrives late
+    ]
+
+    model = TinyLoRATransformer(TINY, np.random.default_rng(42))
+    engine = MultiLoRAEngine(model, exact_accumulation=True)
+    config = OrchestratorConfig(
+        scheduler=SchedulerConfig(capacity=64, padding_multiple=1,
+                                  num_stages=2, use_milp=False, group_size=2),
+        window_batches=1,
+        admission=SlotAdmission(3),
+    )
+    orchestrator = OnlineOrchestrator(NumericExecutor(engine), config)
+    result = orchestrator.run(workload)
+
+    print(
+        f"served {len(result.records)} tenants in {result.replans} waves: "
+        f"{result.total_microbatches} microbatch slots "
+        f"({result.noop_microbatches} no-ops, "
+        f"{result.splice_noops} from splicing), "
+        f"{result.violations} bubble-lemma violations"
+    )
+    print(f"token-clock makespan {result.makespan:.0f}, "
+          f"mean JCT {result.mean_completion_time():.0f}, "
+          f"mean slot wait {result.mean_queueing_delay():.0f}\n")
+    for adapter_id, record in sorted(result.records.items()):
+        print(
+            f"tenant {adapter_id}: arrived {record.arrival_time:6.0f}  "
+            f"admitted {record.admit_time:6.0f}  "
+            f"finished {record.finish_time:6.0f}  "
+            f"({record.num_batches} steps, {record.total_tokens} tokens)"
+        )
+
+    # Retrain every tenant alone and compare bit for bit.
+    reference = TinyLoRATransformer(TINY, np.random.default_rng(42))
+    exact = True
+    for serve_job in workload:
+        train_job_sequentially(reference, serve_job.numeric)
+        online = model.adapter_state(serve_job.adapter_id)
+        solo = reference.adapter_state(serve_job.adapter_id)
+        exact &= all(
+            np.array_equal(online[key].a, solo[key].a)
+            and np.array_equal(online[key].b, solo[key].b)
+            for key in online
+        )
+    print(f"\nonline == sequential parameters, bit for bit: {exact} "
+          "(losslessness under churn)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
-"""Dataset substrate: length distributions, sample streams, packing."""
+"""Dataset substrate: length distributions, sample streams, packing, arrivals."""
 
+from repro.data.arrivals import poisson_times, trace_times
 from repro.data.dataset import FinetuneDataset, Sample, synthetic_dataset
 from repro.data.distributions import (
     CNN_DAILYMAIL,
@@ -36,6 +37,8 @@ __all__ = [
     "onthefly_microbatches",
     "pad_batches",
     "padding_waste",
+    "poisson_times",
     "prepack_dataset",
     "synthetic_dataset",
+    "trace_times",
 ]

@@ -1,0 +1,57 @@
+"""Job arrival processes for online multi-tenant serving.
+
+Production fine-tuning services see jobs arrive *continuously*: tenants
+submit adapters at unpredictable times and the orchestrator must admit,
+schedule, and retire them on the fly.  This module generates the arrival
+timelines that drive those simulations -- a memoryless Poisson process
+(the standard open-loop traffic model) and trace-driven replay for
+recorded workloads.  Times are in the simulation's virtual clock units
+and are payload-agnostic: the serving layer zips them with jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["poisson_times", "trace_times"]
+
+
+def poisson_times(
+    count: int, rate: float, rng: np.random.Generator | int = 0
+) -> list[float]:
+    """Arrival times of a Poisson process with intensity ``rate``.
+
+    Args:
+        count: Number of arrivals to draw.
+        rate: Expected arrivals per unit of virtual time.
+        rng: Generator or integer seed (deterministic per seed).
+
+    Returns:
+        Strictly increasing arrival times starting after 0.
+    """
+    if count <= 0:
+        raise ReproError(f"count must be positive, got {count}")
+    if rate <= 0:
+        raise ReproError(f"rate must be positive, got {rate}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return list(np.cumsum(gaps))
+
+
+def trace_times(times: list[float]) -> list[float]:
+    """Validate and normalize a recorded arrival trace.
+
+    Args:
+        times: Arrival times, in any order; must be non-negative.
+
+    Returns:
+        The times sorted ascending.
+    """
+    if not times:
+        raise ReproError("arrival trace must contain at least one time")
+    if any(t < 0 for t in times):
+        raise ReproError("arrival times must be non-negative")
+    return sorted(float(t) for t in times)

@@ -1,11 +1,17 @@
 """Numeric training runtime: engine, optimizer, job descriptions."""
 
-from repro.runtime.engine import MultiLoRAEngine, NumericJob, TrainResult
+from repro.runtime.engine import (
+    CompletedStep,
+    MultiLoRAEngine,
+    NumericJob,
+    TrainResult,
+)
 from repro.runtime.optimizer import AdamWConfig, AdapterOptimizer
 
 __all__ = [
     "AdamWConfig",
     "AdapterOptimizer",
+    "CompletedStep",
     "MultiLoRAEngine",
     "NumericJob",
     "TrainResult",

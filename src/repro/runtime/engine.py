@@ -1,7 +1,7 @@
 """Numeric multi-LoRA training engine: executes schedules on real weights.
 
-This is the executor of Figure 8 at numeric fidelity.  It runs a
-:class:`~repro.scheduler.types.Schedule` over a
+This is the executor of Figure 8 at numeric fidelity.  It runs
+:class:`~repro.scheduler.types.Microbatch` streams over a
 :class:`~repro.models.transformer.TinyLoRATransformer`: every microbatch
 becomes one packed FusedMultiLoRA forward/backward; gradients route to
 per-adapter accumulators; an adapter's optimizer steps the moment its
@@ -10,13 +10,25 @@ sample is ever seen before that step ("a multi-adapter runtime coordinator
 ensures token-to-adapter consistency ... and tracks gradients across job
 boundaries").
 
+The engine is *resumable*: :meth:`~MultiLoRAEngine.submit` consumes one
+microbatch at a time against persistent accumulator/optimizer state, and
+:meth:`~MultiLoRAEngine.add_job` / :meth:`~MultiLoRAEngine.remove_job`
+admit and retire jobs mid-run, which is what the online orchestrator in
+:mod:`repro.serve` drives.  :meth:`~MultiLoRAEngine.run` executes a whole
+offline schedule through the same path.
+
 Combined with :mod:`repro.baselines.sequential`, this demonstrates the
 paper's losslessness guarantee end to end: joint scheduled training yields
-the same per-adapter updates as training each job alone.
+the same per-adapter updates as training each job alone.  With
+``exact_accumulation=True`` the engine computes gradients sample by sample
+and folds them in sample-index order at optimizer-step time, making the
+joint updates *bit-identical* to sequential training regardless of how the
+scheduler packed or reordered samples within a global batch.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,9 +37,9 @@ from repro.core.lora import LoRAConfig
 from repro.errors import ScheduleError
 from repro.models.transformer import PackedBatch, TinyLoRATransformer
 from repro.runtime.optimizer import AdamWConfig, AdapterOptimizer
-from repro.scheduler.types import Schedule
+from repro.scheduler.types import Microbatch, Schedule
 
-__all__ = ["NumericJob", "TrainResult", "MultiLoRAEngine"]
+__all__ = ["NumericJob", "TrainResult", "CompletedStep", "MultiLoRAEngine"]
 
 
 @dataclass
@@ -85,34 +97,129 @@ class TrainResult:
     microbatches_executed: int = 0
 
 
+@dataclass(frozen=True)
+class CompletedStep:
+    """One optimizer step the engine just applied.
+
+    Attributes:
+        adapter_id: The adapter that stepped.
+        global_batch: The global batch whose gradient was applied.
+        loss: Summed training loss of that global batch.
+    """
+
+    adapter_id: int
+    global_batch: int
+    loss: float
+
+
 class MultiLoRAEngine:
     """Executes a scheduled microbatch stream on the numeric model.
 
     Args:
         model: The shared-base transformer (adapters are added here).
-        jobs: Numeric jobs keyed by the adapter ids used in the schedule.
+        jobs: Numeric jobs keyed by the adapter ids used in the schedule
+            (more may be added later via :meth:`add_job`).
         optimizer_config: AdamW hyper-parameters (shared by all jobs).
+        exact_accumulation: Compute gradients one sample at a time and sum
+            them in sample-index order at step time.  Slower, but makes
+            joint training bit-identical to
+            :func:`repro.baselines.sequential.train_job_sequentially`
+            (which accumulates sample by sample in dataset order) instead
+            of identical only up to float summation order.
     """
 
     def __init__(
         self,
         model: TinyLoRATransformer,
-        jobs: list[NumericJob],
+        jobs: list[NumericJob] | None = None,
         optimizer_config: AdamWConfig | None = None,
+        exact_accumulation: bool = False,
     ) -> None:
-        ids = [job.adapter_id for job in jobs]
-        if len(set(ids)) != len(ids):
-            raise ScheduleError(f"duplicate adapter ids: {ids}")
         self.model = model
-        self.jobs = {job.adapter_id: job for job in jobs}
-        opt_cfg = optimizer_config or AdamWConfig()
-        for job in jobs:
-            if job.adapter_id not in model.adapters:
-                model.add_adapter(job.lora)
-        self.optimizers = {
-            adapter_id: AdapterOptimizer(model.adapter_state(adapter_id), opt_cfg)
-            for adapter_id in self.jobs
-        }
+        self.exact_accumulation = exact_accumulation
+        self.optimizer_config = optimizer_config or AdamWConfig()
+        self.jobs: dict[int, NumericJob] = {}
+        self.optimizers: dict[int, AdapterOptimizer] = {}
+        self.microbatches_executed = 0
+        self._accumulators: dict[int, dict] = {}
+        # (adapter, batch) -> [(sample_index, grads)] in arrival order;
+        # only populated under exact accumulation.
+        self._sample_grads: dict[tuple[int, int], list] = {}
+        self._remaining: dict[tuple[int, int], int] = {}
+        self._loss_sums: dict[tuple[int, int], float] = {}
+        self._sample_losses: dict[tuple[int, int], list] = {}
+        self._steps_done: dict[int, int] = {}
+        self._losses: dict[int, list[float]] = {}
+        for job in jobs or []:
+            self.add_job(job)
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def add_job(self, job: NumericJob) -> None:
+        """Admit a job mid-run: attach its adapter, optimizer, and counters.
+
+        Adapter ids are tenant identities: one training lifecycle per id
+        per engine.  Re-admitting a retired id would silently restart an
+        already-trained adapter (stale weights, reset Adam moments, wiped
+        history), so it is rejected -- resubmissions take a fresh id.
+        """
+        if job.adapter_id in self.jobs:
+            raise ScheduleError(f"duplicate adapter ids: {job.adapter_id}")
+        if job.adapter_id in self._steps_done:
+            raise ScheduleError(
+                f"adapter {job.adapter_id} was already trained by this "
+                "engine; resubmit the job under a fresh adapter id"
+            )
+        if job.adapter_id not in self.model.adapters:
+            self.model.add_adapter(job.lora)
+        else:
+            existing = next(
+                iter(self.model.adapter_state(job.adapter_id).values())
+            ).config
+            if existing != job.lora:
+                raise ScheduleError(
+                    f"adapter {job.adapter_id} already exists on the model "
+                    f"with config {existing}; submit a matching config or "
+                    "use a fresh adapter id"
+                )
+        self.jobs[job.adapter_id] = job
+        self.optimizers[job.adapter_id] = AdapterOptimizer(
+            self.model.adapter_state(job.adapter_id), self.optimizer_config
+        )
+        self._accumulators[job.adapter_id] = self._zero_grads(job.adapter_id)
+        for b in range(job.num_global_batches()):
+            self._remaining[(job.adapter_id, b)] = len(job.batch_indices(b))
+        self._steps_done[job.adapter_id] = 0
+        self._losses[job.adapter_id] = []
+
+    def remove_job(self, adapter_id: int) -> None:
+        """Retire a job: release its optimizer/accumulator state.
+
+        The adapter's trained weights stay on the model.  Any
+        not-yet-stepped accumulated gradient is discarded, so retire jobs
+        only after their final optimizer step (the orchestrator does).
+        """
+        if adapter_id not in self.jobs:
+            raise ScheduleError(f"unknown job {adapter_id}")
+        del self.jobs[adapter_id]
+        del self.optimizers[adapter_id]
+        del self._accumulators[adapter_id]
+        # _steps_done and _losses survive retirement as training history.
+        for key in [k for k in self._remaining if k[0] == adapter_id]:
+            del self._remaining[key]
+        for store in (self._loss_sums, self._sample_losses, self._sample_grads):
+            for key in [k for k in store if k[0] == adapter_id]:
+                del store[key]
+
+    def steps_done(self, adapter_id: int) -> int:
+        """Optimizer steps taken so far for ``adapter_id``."""
+        return self._steps_done[adapter_id]
+
+    def losses(self, adapter_id: int) -> list[float]:
+        """Per-global-batch losses recorded so far for ``adapter_id``."""
+        return list(self._losses[adapter_id])
+
+    # -- execution ----------------------------------------------------------
 
     def _zero_grads(self, adapter_id: int):
         params = self.model.adapter_state(adapter_id)
@@ -121,70 +228,149 @@ class MultiLoRAEngine:
             for key, w in params.items()
         }
 
-    def run(self, schedule: Schedule) -> TrainResult:
-        """Execute ``schedule`` to completion.
+    def _validate(self, mb: Microbatch) -> None:
+        for assignment in mb.assignments:
+            aid = assignment.adapter_id
+            if aid not in self.jobs:
+                raise ScheduleError(f"schedule references unknown job {aid}")
+            if assignment.global_batch >= self.jobs[aid].num_global_batches():
+                raise ScheduleError(
+                    f"adapter {aid} has no global batch "
+                    f"{assignment.global_batch} (job has "
+                    f"{self.jobs[aid].num_global_batches()})"
+                )
+            if self._steps_done[aid] != assignment.global_batch:
+                raise ScheduleError(
+                    f"adapter {aid} batch {assignment.global_batch} sample "
+                    f"arrived after {self._steps_done[aid]} optimizer steps: "
+                    "schedule violates update ordering"
+                )
+
+    def _execute_packed(self, mb: Microbatch) -> list[tuple[int, int]]:
+        """One fused forward/backward over the whole microbatch."""
+        samples: list[tuple[int, np.ndarray]] = []
+        weights: list[float] = []
+        keys: list[tuple[int, int]] = []
+        for assignment in mb.assignments:
+            aid = assignment.adapter_id
+            job = self.jobs[aid]
+            tokens = job.token_streams[assignment.sample.index]
+            denom = job.batch_predicted_tokens(assignment.global_batch)
+            samples.append((aid, tokens))
+            weights.append(1.0 / denom if denom else 0.0)
+            keys.append((aid, assignment.global_batch))
+        batch = PackedBatch.from_samples(samples, weights)
+        _, per_sample_losses, grads = self.model.loss_and_grads(batch)
+        for key, sample_loss in zip(keys, per_sample_losses):
+            self._loss_sums[key] = self._loss_sums.get(key, 0.0) + sample_loss
+        for aid, adapter_grads in grads.items():
+            if aid not in self._accumulators:
+                continue
+            acc = self._accumulators[aid]
+            for pkey, grad in adapter_grads.items():
+                acc[pkey]["a"] += grad["a"]
+                acc[pkey]["b"] += grad["b"]
+        return keys
+
+    def _execute_exact(self, mb: Microbatch) -> list[tuple[int, int]]:
+        """One forward/backward per sample, deferring accumulation order."""
+        keys: list[tuple[int, int]] = []
+        for assignment in mb.assignments:
+            aid = assignment.adapter_id
+            job = self.jobs[aid]
+            tokens = job.token_streams[assignment.sample.index]
+            denom = job.batch_predicted_tokens(assignment.global_batch)
+            weight = 1.0 / denom if denom else 0.0
+            batch = PackedBatch.from_samples([(aid, tokens)], [weight])
+            _, per_sample_losses, grads = self.model.loss_and_grads(batch)
+            key = (aid, assignment.global_batch)
+            self._sample_grads.setdefault(key, []).append(
+                (assignment.sample.index, grads[aid])
+            )
+            self._sample_losses.setdefault(key, []).append(
+                (assignment.sample.index, per_sample_losses[0])
+            )
+            keys.append(key)
+        return keys
+
+    def _step(self, aid: int, gb: int) -> CompletedStep:
+        """Apply the optimizer step for a just-completed global batch."""
+        if self.exact_accumulation:
+            # Fold per-sample gradients in sample-index order from a fresh
+            # zero accumulator -- the exact association sequential training
+            # uses, independent of the schedule's packing order.
+            acc = self._zero_grads(aid)
+            for _, grads in sorted(
+                self._sample_grads.pop((aid, gb)), key=lambda item: item[0]
+            ):
+                for pkey, grad in grads.items():
+                    acc[pkey]["a"] += grad["a"]
+                    acc[pkey]["b"] += grad["b"]
+            loss = 0.0
+            for _, sample_loss in sorted(
+                self._sample_losses.pop((aid, gb)), key=lambda item: item[0]
+            ):
+                loss += sample_loss
+        else:
+            acc = self._accumulators[aid]
+            loss = self._loss_sums.pop((aid, gb), 0.0)
+        self.optimizers[aid].step(acc)
+        self._accumulators[aid] = self._zero_grads(aid)
+        self._steps_done[aid] += 1
+        self._losses[aid].append(loss)
+        return CompletedStep(adapter_id=aid, global_batch=gb, loss=loss)
+
+    def submit(self, mb: Microbatch) -> list[CompletedStep]:
+        """Execute one microbatch against the persistent training state.
+
+        Returns:
+            The optimizer steps this microbatch completed (an adapter
+            steps the moment its global batch's last sample is consumed).
 
         Raises:
-            ScheduleError: If the schedule would make an adapter see a
+            ScheduleError: If the microbatch would make an adapter see a
                 batch-``j`` sample before its batch-``j-1`` optimizer step
                 (the correctness property the bubble lemma protects).
         """
-        jobs = self.jobs
-        accumulators = {aid: self._zero_grads(aid) for aid in jobs}
-        remaining = {
-            (aid, b): len(job.batch_indices(b))
-            for aid, job in jobs.items()
-            for b in range(job.num_global_batches())
-        }
-        loss_sums: dict[tuple[int, int], float] = {}
-        steps_done = {aid: 0 for aid in jobs}
-        result = TrainResult(
-            losses={aid: [] for aid in jobs}, steps={aid: 0 for aid in jobs}
+        if mb.is_noop:
+            return []
+        self._validate(mb)
+        keys = (
+            self._execute_exact(mb)
+            if self.exact_accumulation
+            else self._execute_packed(mb)
         )
+        self.microbatches_executed += 1
+        completed: list[CompletedStep] = []
+        for key, count in Counter(keys).items():
+            self._remaining[key] -= count
+            if self._remaining[key] == 0:
+                completed.append(self._step(*key))
+        return completed
 
+    def run(self, schedule: Schedule) -> TrainResult:
+        """Execute ``schedule`` to completion (the offline path).
+
+        The result covers *this call only*: on an engine that already
+        trained (training state persists across calls), losses and step
+        counts are the deltas this schedule produced.  A schedule's batch
+        indices must continue from the engine's current optimizer-step
+        counts -- replaying the same schedule twice is an update-ordering
+        error, not an epoch.
+        """
+        executed_before = self.microbatches_executed
+        steps_before = dict(self._steps_done)
+        losses_before = {aid: len(losses) for aid, losses in self._losses.items()}
         for mb in schedule.microbatches:
-            if mb.is_noop:
-                continue
-            samples: list[tuple[int, np.ndarray]] = []
-            weights: list[float] = []
-            keys: list[tuple[int, int]] = []
-            for assignment in mb.assignments:
-                aid = assignment.adapter_id
-                if aid not in jobs:
-                    raise ScheduleError(f"schedule references unknown job {aid}")
-                if steps_done[aid] != assignment.global_batch:
-                    raise ScheduleError(
-                        f"adapter {aid} batch {assignment.global_batch} sample "
-                        f"arrived after {steps_done[aid]} optimizer steps: "
-                        "schedule violates update ordering"
-                    )
-                job = jobs[aid]
-                tokens = job.token_streams[assignment.sample.index]
-                denom = job.batch_predicted_tokens(assignment.global_batch)
-                samples.append((aid, tokens))
-                weights.append(1.0 / denom if denom else 0.0)
-                keys.append((aid, assignment.global_batch))
-            batch = PackedBatch.from_samples(samples, weights)
-            _, per_sample_losses, grads = self.model.loss_and_grads(batch)
-            result.microbatches_executed += 1
-
-            # Route losses and gradients to their adapters, then step any
-            # adapter whose global batch just completed.
-            for key, sample_loss in zip(keys, per_sample_losses):
-                loss_sums[key] = loss_sums.get(key, 0.0) + sample_loss
-            for aid, adapter_grads in grads.items():
-                if aid not in accumulators:
-                    continue
-                acc = accumulators[aid]
-                for pkey, grad in adapter_grads.items():
-                    acc[pkey]["a"] += grad["a"]
-                    acc[pkey]["b"] += grad["b"]
-            for aid, gb in set(keys):
-                remaining[(aid, gb)] -= keys.count((aid, gb))
-                if remaining[(aid, gb)] == 0:
-                    self.optimizers[aid].step(accumulators[aid])
-                    accumulators[aid] = self._zero_grads(aid)
-                    steps_done[aid] += 1
-                    result.steps[aid] = steps_done[aid]
-                    result.losses[aid].append(loss_sums.get((aid, gb), 0.0))
-        return result
+            self.submit(mb)
+        return TrainResult(
+            losses={
+                aid: losses[losses_before.get(aid, 0):]
+                for aid, losses in self._losses.items()
+            },
+            steps={
+                aid: steps - steps_before.get(aid, 0)
+                for aid, steps in self._steps_done.items()
+            },
+            microbatches_executed=self.microbatches_executed - executed_before,
+        )

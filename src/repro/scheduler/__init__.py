@@ -12,6 +12,7 @@ from repro.scheduler.merging import merge_pass
 from repro.scheduler.milp import MILPResult, milp_pack
 from repro.scheduler.scheduler import (
     MultiLoRAScheduler,
+    PackingPlan,
     SchedulerConfig,
     pack_global_batch,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "MILPResult",
     "Microbatch",
     "MultiLoRAScheduler",
+    "PackingPlan",
     "Schedule",
     "SchedulerConfig",
     "check_sample_fits_capacity",

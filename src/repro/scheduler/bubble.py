@@ -93,7 +93,10 @@ def find_violations(
 
 
 def insert_noops(
-    microbatches: list[Microbatch], num_stages: int
+    microbatches: list[Microbatch],
+    num_stages: int,
+    initial_last: dict[tuple[int, int], int] | None = None,
+    start_position: int = 0,
 ) -> tuple[list[Microbatch], int]:
     """Restore the bubble lemma by inserting no-op microbatches.
 
@@ -103,31 +106,44 @@ def insert_noops(
     indices appear in non-decreasing execution order, which the scheduler's
     group-interleaved assembly and merge pass guarantee.
 
+    The online splicer passes the in-flight stream's state so that a new
+    window is spaced correctly against work already submitted:
+
+    Args:
+        microbatches: The (window's) microbatches, in execution order.
+        num_stages: Pipeline depth.
+        initial_last: Last emitted position of each ``(adapter, batch)``
+            in the stream *before* these microbatches, in stream-global
+            coordinates.  Updated in place with the new positions.
+        start_position: Stream-global position the first microbatch here
+            will occupy (the current stream length).
+
     Returns:
         ``(schedule, inserted_count)``.
     """
     gap = dependency_gap(num_stages)
     output: list[Microbatch] = []
-    last_position: dict[tuple[int, int], int] = {}
+    last_position = initial_last if initial_last is not None else {}
     inserted = 0
     for mb in microbatches:
-        required = len(output)
+        required = start_position + len(output)
         for adapter_id, batches in mb.batches_by_adapter().items():
             for batch in batches:
                 prev = last_position.get((adapter_id, batch - 1))
                 if prev is not None:
                     required = max(required, prev + gap)
-        while len(output) < required:
+        while start_position + len(output) < required:
             output.append(
                 Microbatch(
                     capacity=mb.capacity,
                     padding_multiple=mb.padding_multiple,
                     group=mb.group,
                     step=mb.step,
+                    plan_id=mb.plan_id,
                 )
             )
             inserted += 1
-        position = len(output)
+        position = start_position + len(output)
         output.append(mb)
         for adapter_id, batches in mb.batches_by_adapter().items():
             for batch in batches:

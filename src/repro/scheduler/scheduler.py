@@ -34,7 +34,12 @@ from repro.scheduler.merging import merge_pass
 from repro.scheduler.milp import milp_pack
 from repro.scheduler.types import AdapterJob, Microbatch, Schedule
 
-__all__ = ["SchedulerConfig", "MultiLoRAScheduler", "pack_global_batch"]
+__all__ = [
+    "PackingPlan",
+    "SchedulerConfig",
+    "MultiLoRAScheduler",
+    "pack_global_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -122,8 +127,41 @@ def _pack_task(args):
     return group_index, step, bins, method
 
 
+@dataclass
+class PackingPlan:
+    """Phase-1 output of the scheduler: grouped, packed, not yet assembled.
+
+    The offline path assembles a plan immediately; the online orchestrator
+    plans one *window* of live jobs at a time and splices the assembled
+    stream into the in-flight schedule.
+
+    Attributes:
+        groups: Head-tail adapter groups, in schedule-position order.
+        packed: Microbatches per ``(group_index, local_step)``, sorted
+            fullest-first within each region.
+        milp_wins: Packing tasks where the MILP beat greedy.
+        num_tasks: Total packing tasks executed.
+        seconds: Wall-clock time the packing phase took (folded into the
+            assembled schedule's ``tuning_seconds``).
+    """
+
+    groups: list[list[AdapterJob]]
+    packed: dict[tuple[int, int], list[Microbatch]] = field(default_factory=dict)
+    milp_wins: int = 0
+    num_tasks: int = 0
+    seconds: float = 0.0
+
+
 class MultiLoRAScheduler:
     """Schedules multiple LoRA fine-tuning jobs onto one microbatch stream.
+
+    The pipeline has two reusable phases.  :meth:`plan_step` groups the
+    jobs and packs every (group, global-batch step) region into
+    capacity-bounded microbatches; :meth:`assemble` interleaves the packed
+    regions, runs the merge pass, and verifies/fixes the bubble lemma.
+    :meth:`schedule` composes the two for the offline whole-horizon case;
+    the online orchestrator calls them per replanning window, with each
+    job's ``batch_offset`` carrying the absolute optimizer-step indices.
 
     Args:
         jobs: The fine-tuning jobs (distinct adapter ids).
@@ -148,13 +186,17 @@ class MultiLoRAScheduler:
                 job.adapter_id: job.dataset.global_batches(job.global_batch_size)
                 for job in group
             }
+            offsets = {job.adapter_id: job.batch_offset for job in group}
             num_steps = max(len(b) for b in batches_per_job.values())
             for step in range(num_steps):
                 samples: list[tuple[Sample, int]] = []
                 for job in group:
                     batches = batches_per_job[job.adapter_id]
                     if step < len(batches):
-                        samples.extend((sample, step) for sample in batches[step])
+                        samples.extend(
+                            (sample, offsets[job.adapter_id] + step)
+                            for sample in batches[step]
+                        )
                 if samples:
                     tasks.append(
                         (
@@ -175,17 +217,29 @@ class MultiLoRAScheduler:
                 return list(pool.map(_pack_task, tasks))
         return [_pack_task(task) for task in tasks]
 
-    def schedule(self) -> Schedule:
-        """Produce the verified microbatch stream for all jobs."""
-        cfg = self.config
-        start = time.perf_counter()
-        groups = head_tail_groups(
-            self.jobs, cfg.resolved_group_size(len(self.jobs))
-        )
-        results = self._run_packing(self._packing_tasks(groups))
+    def plan_step(self, groups: list[list[AdapterJob]] | None = None) -> PackingPlan:
+        """Phase 1: group the jobs and pack every (group, step) region.
 
-        packed: dict[tuple[int, int], list[Microbatch]] = {}
-        milp_wins = 0
+        Args:
+            groups: Pre-computed adapter groups (e.g. held fixed across
+                online replans); derived by head-tail pairing when omitted.
+                Must cover exactly this scheduler's jobs.
+        """
+        start = time.perf_counter()
+        if groups is None:
+            groups = head_tail_groups(
+                self.jobs, self.config.resolved_group_size(len(self.jobs))
+            )
+        else:
+            grouped = [job.adapter_id for group in groups for job in group]
+            expected = {job.adapter_id for job in self.jobs}
+            if len(grouped) != len(set(grouped)) or set(grouped) != expected:
+                raise ScheduleError(
+                    f"groups cover adapters {sorted(grouped)} but the "
+                    f"scheduler's jobs are {sorted(expected)}"
+                )
+        results = self._run_packing(self._packing_tasks(groups))
+        plan = PackingPlan(groups=groups, num_tasks=len(results))
         for group_index, step, bins, method in results:
             # Emit fullest-first so the underfilled bin sits at the region
             # tail where the merge pass can reach it.
@@ -193,16 +247,27 @@ class MultiLoRAScheduler:
             for mb in bins:
                 mb.group = group_index
                 mb.step = step
-            packed[(group_index, step)] = bins
+            plan.packed[(group_index, step)] = bins
             if method == "milp":
-                milp_wins += 1
+                plan.milp_wins += 1
+        plan.seconds = time.perf_counter() - start
+        return plan
 
+    def assemble(self, plan: PackingPlan) -> Schedule:
+        """Phase 2: interleave, merge, and verify a packing plan.
+
+        Raises:
+            ScheduleError: If the assembled stream still violates the
+                bubble lemma after no-op insertion (never expected).
+        """
+        cfg = self.config
+        start = time.perf_counter()
         # Interleave groups step by step: G0/B0, G1/B0, G0/B1, G1/B1, ...
         stream: list[Microbatch] = []
-        max_step = max((key[1] for key in packed), default=-1)
+        max_step = max((key[1] for key in plan.packed), default=-1)
         for step in range(max_step + 1):
-            for group_index in range(len(groups)):
-                stream.extend(packed.get((group_index, step), []))
+            for group_index in range(len(plan.groups)):
+                stream.extend(plan.packed.get((group_index, step), []))
 
         merges = 0
         if cfg.use_merge:
@@ -215,13 +280,19 @@ class MultiLoRAScheduler:
             )
         elapsed = time.perf_counter() - start
         stats = {
-            "groups": float(len(groups)),
-            "packing_tasks": float(len(results)),
-            "milp_selected": float(milp_wins),
-            "milp_selected_frac": milp_wins / len(results) if results else 0.0,
+            "groups": float(len(plan.groups)),
+            "packing_tasks": float(plan.num_tasks),
+            "milp_selected": float(plan.milp_wins),
+            "milp_selected_frac": (
+                plan.milp_wins / plan.num_tasks if plan.num_tasks else 0.0
+            ),
             "merges": float(merges),
             "noops_inserted": float(noops),
             "microbatches": float(len(stream)),
-            "tuning_seconds": elapsed,
+            "tuning_seconds": plan.seconds + elapsed,
         }
         return Schedule(microbatches=stream, num_stages=cfg.num_stages, stats=stats)
+
+    def schedule(self) -> Schedule:
+        """Produce the verified microbatch stream for all jobs."""
+        return self.assemble(self.plan_step())

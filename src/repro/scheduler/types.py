@@ -18,17 +18,26 @@ class AdapterJob:
 
     Attributes:
         adapter_id: Adapter identity (unique across jobs).
-        dataset: The job's ordered sample stream.
+        dataset: The job's ordered sample stream.  For online scheduling
+            this may be a *window* of a longer stream: the remaining
+            samples, with their original absolute indices.
         global_batch_size: Samples per optimizer step.
+        batch_offset: Absolute index of the dataset's first global batch.
+            The scheduler labels assignments ``batch_offset + local_step``
+            so a windowed job's samples carry the optimizer-step indices
+            of the full stream (zero for offline, whole-horizon jobs).
     """
 
     adapter_id: int
     dataset: FinetuneDataset
     global_batch_size: int
+    batch_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.global_batch_size <= 0:
             raise ScheduleError("global_batch_size must be positive")
+        if self.batch_offset < 0:
+            raise ScheduleError("batch_offset must be non-negative")
         if self.dataset.adapter_id != self.adapter_id:
             raise ScheduleError(
                 f"dataset belongs to adapter {self.dataset.adapter_id}, "
@@ -82,7 +91,13 @@ class Microbatch:
         capacity: Token budget (padded tokens must not exceed it).
         padding_multiple: The padding granule ``P``.
         group: Adapter-group index that produced this microbatch.
-        step: Global-batch step index within the group's stream.
+        step: Global-batch step index within the group's stream (window
+            local under online scheduling; absolute batch indices live on
+            the assignments).
+        plan_id: Replanning wave that emitted this microbatch.  Offline
+            schedules are one wave (0); the online orchestrator stamps
+            each window's wave so spliced streams stay traceable back to
+            the plan that produced every microbatch.
     """
 
     assignments: list[Assignment] = field(default_factory=list)
@@ -90,6 +105,7 @@ class Microbatch:
     padding_multiple: int = 64
     group: int = 0
     step: int = 0
+    plan_id: int = 0
 
     @property
     def is_noop(self) -> bool:
@@ -200,3 +216,60 @@ class Schedule:
                 if assignment.adapter_id == adapter_id:
                     order.append((assignment.global_batch, assignment.sample.index))
         return order
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (orchestrator trace dumps)."""
+        return {
+            "num_stages": self.num_stages,
+            "stats": dict(self.stats),
+            "microbatches": [
+                {
+                    "capacity": mb.capacity,
+                    "padding_multiple": mb.padding_multiple,
+                    "group": mb.group,
+                    "step": mb.step,
+                    "plan_id": mb.plan_id,
+                    "assignments": [
+                        {
+                            "adapter_id": a.adapter_id,
+                            "index": a.sample.index,
+                            "length": a.length,
+                            "global_batch": a.global_batch,
+                        }
+                        for a in mb.assignments
+                    ],
+                }
+                for mb in self.microbatches
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Schedule":
+        """Rebuild a schedule dumped by :meth:`to_dict`."""
+        microbatches = []
+        for entry in payload["microbatches"]:
+            microbatches.append(
+                Microbatch(
+                    assignments=[
+                        Assignment(
+                            sample=Sample(
+                                adapter_id=a["adapter_id"],
+                                index=a["index"],
+                                length=a["length"],
+                            ),
+                            global_batch=a["global_batch"],
+                        )
+                        for a in entry["assignments"]
+                    ],
+                    capacity=entry["capacity"],
+                    padding_multiple=entry["padding_multiple"],
+                    group=entry["group"],
+                    step=entry["step"],
+                    plan_id=entry.get("plan_id", 0),
+                )
+            )
+        return cls(
+            microbatches=microbatches,
+            num_stages=payload["num_stages"],
+            stats=dict(payload.get("stats", {})),
+        )

@@ -1,0 +1,37 @@
+"""Online multi-tenant serving: continuous scheduling over live jobs.
+
+This layer turns the offline schedule->execute pipeline into a serving
+system: jobs arrive over virtual time, are admitted against an
+adapter-slot budget, scheduled window by window, spliced into the
+in-flight microbatch stream, and retired on completion -- with the same
+losslessness guarantee the offline path has.
+"""
+
+from repro.serve.admission import AdmissionPolicy, MemoryAdmission, SlotAdmission
+from repro.serve.executors import (
+    Executor,
+    NumericExecutor,
+    StepEvent,
+    StreamingSimExecutor,
+)
+from repro.serve.jobs import ServeJob, poisson_workload
+from repro.serve.metrics import JobRecord, OrchestratorResult
+from repro.serve.orchestrator import OnlineOrchestrator, OrchestratorConfig
+from repro.serve.splice import StreamSplicer
+
+__all__ = [
+    "AdmissionPolicy",
+    "Executor",
+    "JobRecord",
+    "MemoryAdmission",
+    "NumericExecutor",
+    "OnlineOrchestrator",
+    "OrchestratorConfig",
+    "OrchestratorResult",
+    "ServeJob",
+    "SlotAdmission",
+    "StepEvent",
+    "StreamSplicer",
+    "StreamingSimExecutor",
+    "poisson_workload",
+]

@@ -1,0 +1,116 @@
+"""Admission control: how many adapters may train concurrently.
+
+Every live adapter costs optimizer/accumulator state on the training
+devices (Section 2.1's ``32r(n+k)``-byte model states, times the 16-byte
+mixed-precision multiplier), so an online orchestrator must bound the
+number of concurrently-admitted jobs.  :class:`SlotAdmission` takes an
+explicit slot count; :class:`MemoryAdmission` derives it from the
+:mod:`repro.distsim.memory` model -- the largest adapter count whose peak
+memory estimate still fits the device with the pipeline's worst-case
+tokens in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.distsim.memory import estimate_memory, fits_on_gpu
+from repro.errors import ScheduleError
+from repro.gpu.specs import GPUSpec
+from repro.models.config import ModelConfig
+
+__all__ = ["AdmissionPolicy", "SlotAdmission", "MemoryAdmission"]
+
+#: Upper bound on the adapter-slot search (beyond this, adapter states are
+#: never the binding constraint in practice).
+_MAX_SLOTS = 256
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Decides how many jobs may hold adapter slots at once."""
+
+    def max_concurrent(self) -> int:
+        """The adapter-slot budget (must be at least 1)."""
+
+
+@dataclass(frozen=True)
+class SlotAdmission:
+    """A fixed adapter-slot budget.
+
+    Attributes:
+        slots: Maximum concurrently-admitted jobs.
+    """
+
+    slots: int
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ScheduleError("admission needs at least one adapter slot")
+
+    def max_concurrent(self) -> int:
+        return self.slots
+
+
+@dataclass(frozen=True)
+class MemoryAdmission:
+    """Adapter slots derived from the GPU memory model.
+
+    Attributes:
+        model: Architecture being fine-tuned.
+        gpu: Device the stages run on.
+        capacity: Microbatch token budget (one microbatch in flight per
+            stage under 1F1B, so stage 0 holds ``capacity * num_stages``
+            activation tokens at peak).
+        num_stages: Pipeline depth.
+        lora_rank: Adapter rank (sizes the per-adapter states).
+        dtype: Training dtype.
+        saving: Activation recompute regime.
+    """
+
+    model: ModelConfig
+    gpu: GPUSpec
+    capacity: int
+    num_stages: int = 1
+    lora_rank: int = 16
+    dtype: str = "bf16"
+    saving: str = "selective"
+
+    def fits(self, num_adapters: int) -> bool:
+        """Whether ``num_adapters`` concurrent adapters fit the device."""
+        estimate = estimate_memory(
+            self.model,
+            self.gpu,
+            tokens_in_flight=self.capacity * self.num_stages,
+            num_stages=self.num_stages,
+            lora_rank=self.lora_rank,
+            num_adapters=num_adapters,
+            dtype=self.dtype,
+            saving=self.saving,
+        )
+        return fits_on_gpu(estimate, self.gpu)
+
+    def max_concurrent(self) -> int:
+        """Largest adapter count that fits (memory is monotone in it).
+
+        Raises:
+            ScheduleError: When even a single adapter does not fit -- the
+                configuration cannot serve this model at all.
+        """
+        if not self.fits(1):
+            raise ScheduleError(
+                f"{self.model.name} with capacity {self.capacity} and "
+                f"{self.num_stages} stage(s) does not fit a single adapter "
+                f"on {self.gpu.name}; shard further or shrink the capacity"
+            )
+        lo, hi = 1, _MAX_SLOTS
+        if self.fits(hi):
+            return hi
+        while hi - lo > 1:  # invariant: fits(lo), not fits(hi)
+            mid = (lo + hi) // 2
+            if self.fits(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,74 @@
+"""Serving-layer job descriptions.
+
+A :class:`ServeJob` pairs the *scheduling* view of a fine-tuning job (its
+:class:`~repro.scheduler.types.AdapterJob`, over the full sample stream)
+with its arrival time and, when the orchestrator drives numeric training,
+the :class:`~repro.runtime.engine.NumericJob` holding real token arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.arrivals import poisson_times
+from repro.errors import ScheduleError
+from repro.runtime.engine import NumericJob
+from repro.scheduler.types import AdapterJob
+
+__all__ = ["ServeJob", "poisson_workload"]
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """One tenant's fine-tuning request in the online system.
+
+    Attributes:
+        job: Scheduling view: the full dataset and global batch size
+            (``batch_offset`` must be 0 -- the orchestrator windows it).
+        arrival_time: Virtual time at which the job becomes known.
+        numeric: Token-level payload for numeric execution (None when the
+            orchestrator only simulates makespan).
+    """
+
+    job: AdapterJob
+    arrival_time: float
+    numeric: NumericJob | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ScheduleError("arrival_time must be non-negative")
+        if self.job.batch_offset != 0:
+            raise ScheduleError(
+                "ServeJob takes the full job (batch_offset 0); the "
+                "orchestrator derives windowed offsets itself"
+            )
+        if self.numeric is not None:
+            if self.numeric.adapter_id != self.job.adapter_id:
+                raise ScheduleError("numeric payload belongs to another adapter")
+            if len(self.numeric.token_streams) != len(self.job.dataset):
+                raise ScheduleError(
+                    "numeric payload and dataset disagree on sample count"
+                )
+            if self.numeric.global_batch_size != self.job.global_batch_size:
+                raise ScheduleError(
+                    "numeric payload and job disagree on global batch size"
+                )
+
+    @property
+    def adapter_id(self) -> int:
+        """The job's adapter identity."""
+        return self.job.adapter_id
+
+
+def poisson_workload(
+    jobs: list[AdapterJob],
+    rate: float,
+    rng: np.random.Generator | int = 0,
+) -> list[ServeJob]:
+    """Wrap offline jobs into a Poisson-arriving online workload."""
+    times = poisson_times(len(jobs), rate, rng)
+    return [
+        ServeJob(job=job, arrival_time=time) for job, time in zip(jobs, times)
+    ]

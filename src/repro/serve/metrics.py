@@ -1,0 +1,108 @@
+"""Serving metrics: per-job latency records and the run-level result.
+
+Online systems are judged on latency distributions, not just makespan:
+how long a job queued for an adapter slot, how long until its first
+microbatch ran, and its job completion time (JCT).  The orchestrator
+fills one :class:`JobRecord` per job and aggregates them, together with
+stream-level utilization counters, into an :class:`OrchestratorResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobRecord", "OrchestratorResult"]
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle timestamps and totals of one served job.
+
+    All times are in the executor's virtual clock units.
+
+    Attributes:
+        adapter_id: The job.
+        arrival_time: When the job became known.
+        admit_time: When it received an adapter slot.
+        first_scheduled_time: Clock before its first microbatch ran.
+        finish_time: When its last optimizer step completed.
+        num_batches: Optimizer steps the job takes.
+        total_tokens: Real (unpadded) tokens across its dataset.
+    """
+
+    adapter_id: int
+    arrival_time: float
+    admit_time: float | None = None
+    first_scheduled_time: float | None = None
+    finish_time: float | None = None
+    num_batches: int = 0
+    total_tokens: int = 0
+
+    @property
+    def queueing_delay(self) -> float | None:
+        """Time spent waiting for an adapter slot."""
+        if self.admit_time is None:
+            return None
+        return self.admit_time - self.arrival_time
+
+    @property
+    def completion_time(self) -> float | None:
+        """Job completion time (arrival to last optimizer step)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class OrchestratorResult:
+    """Outcome of one online serving run.
+
+    Attributes:
+        records: Per-job lifecycle records, keyed by adapter id.
+        makespan: Virtual time from 0 to the last completed work.
+        total_tokens: Real tokens trained across all jobs.
+        total_microbatches: Microbatch slots submitted (incl. no-ops).
+        noop_microbatches: No-op slots (scheduler spacing + splice
+            junctions).
+        replans: Scheduler planning waves executed.
+        splice_noops: No-ops inserted at window junctions specifically.
+        utilization: Busy fraction reported by the executor (pipeline
+            executors) or the real-token fill fraction (numeric).
+        violations: Bubble-lemma violations found on the full spliced
+            stream -- always 0 for a correct run; recorded so benchmarks
+            and tests can assert it.
+        stats: Free-form counters (per-wave scheduler stats sums etc.).
+    """
+
+    records: dict[int, JobRecord] = field(default_factory=dict)
+    makespan: float = 0.0
+    total_tokens: int = 0
+    total_microbatches: int = 0
+    noop_microbatches: int = 0
+    replans: int = 0
+    splice_noops: int = 0
+    utilization: float = 0.0
+    violations: int = 0
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def mean_completion_time(self) -> float:
+        """Mean JCT across finished jobs."""
+        times = [
+            r.completion_time
+            for r in self.records.values()
+            if r.completion_time is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    def mean_queueing_delay(self) -> float:
+        """Mean slot-wait across admitted jobs."""
+        delays = [
+            r.queueing_delay
+            for r in self.records.values()
+            if r.queueing_delay is not None
+        ]
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def tokens_per_time(self) -> float:
+        """Trained real tokens per unit of virtual time."""
+        return self.total_tokens / self.makespan if self.makespan else 0.0

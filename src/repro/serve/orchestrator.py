@@ -1,0 +1,302 @@
+"""The online multi-tenant orchestrator: continuous job serving.
+
+The offline pipeline (schedule everything, then execute) assumes all jobs
+are known upfront.  Production multi-tenant traffic is a stream: jobs
+arrive over time, hold an adapter slot while training, and retire.  The
+orchestrator closes that gap with an incremental schedule->splice->execute
+loop over any :class:`~repro.serve.executors.Executor`:
+
+1. **Admit** arrivals against the admission policy's adapter-slot budget
+   (memory-derived or fixed), in arrival order.
+2. **Plan a wave**: window each live job to its next ``window_batches``
+   global batches (``batch_offset`` keeps optimizer-step indices
+   absolute) and run the two-phase scheduler
+   (:meth:`~repro.scheduler.scheduler.MultiLoRAScheduler.plan_step` +
+   :meth:`~repro.scheduler.scheduler.MultiLoRAScheduler.assemble`) over
+   live jobs only.
+3. **Splice** the window into the in-flight stream: the
+   :class:`~repro.serve.splice.StreamSplicer` inserts junction no-ops so
+   the concatenated stream never violates the bubble lemma.
+4. **Execute** the spliced microbatches; optimizer-step events update
+   per-job records, and jobs whose final batch stepped retire
+   immediately, freeing their slot for the next arrival.
+
+When every live job is fully scheduled but pipeline work is still in
+flight (or pending jobs wait on slots), the executor drains -- a pipeline
+flush -- and the loop resumes with the freed slots.  Losslessness holds
+throughout: window scheduling never reorders samples across global-batch
+boundaries and the splicer preserves update ordering, so a job served
+under churn trains exactly as it would alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.errors import ScheduleError
+from repro.scheduler.bubble import find_violations
+from repro.scheduler.scheduler import MultiLoRAScheduler, SchedulerConfig
+from repro.scheduler.types import AdapterJob, Microbatch, Schedule
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.executors import Executor, StepEvent
+from repro.serve.jobs import ServeJob
+from repro.serve.metrics import JobRecord, OrchestratorResult
+from repro.serve.splice import StreamSplicer
+
+__all__ = ["OrchestratorConfig", "OnlineOrchestrator"]
+
+#: Window scheduler stats accumulated across waves into the result stats.
+_ACCUMULATED_STATS = ("merges", "noops_inserted", "milp_selected", "packing_tasks")
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """Tunables of the online orchestrator.
+
+    Attributes:
+        scheduler: Per-wave scheduler configuration (capacity, stages,
+            MILP/merge switches...).
+        window_batches: Global batches per job per planning wave; ``None``
+            schedules each job's whole remaining horizon in one wave
+            (with all arrivals at time 0 this is the offline oracle).
+        admission: Adapter-slot policy; ``None`` admits unboundedly.
+    """
+
+    scheduler: SchedulerConfig
+    window_batches: int | None = 2
+    admission: AdmissionPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_batches is not None and self.window_batches <= 0:
+            raise ScheduleError("window_batches must be positive (or None)")
+
+
+@dataclass
+class _ActiveJob:
+    """Orchestrator-side state of one admitted job."""
+
+    serve_job: ServeJob
+    batches: list[list[Sample]]
+    record: JobRecord
+    next_batch: int = 0  # first not-yet-scheduled global batch
+    steps_completed: int = 0
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def fully_scheduled(self) -> bool:
+        return self.next_batch >= self.num_batches
+
+    @property
+    def finished(self) -> bool:
+        return self.steps_completed >= self.num_batches
+
+
+class OnlineOrchestrator:
+    """Serves a stream of fine-tuning jobs on one executor.
+
+    Args:
+        executor: Execution backend (numeric engine or pipeline
+            simulator).
+        config: Orchestrator tunables.
+    """
+
+    def __init__(self, executor: Executor, config: OrchestratorConfig) -> None:
+        self.executor = executor
+        self.config = config
+        self.stream: list[Microbatch] = []
+        self._splicer = StreamSplicer(config.scheduler.num_stages)
+        self._pending: list[ServeJob] = []
+        self._active: dict[int, _ActiveJob] = {}
+        self._records: dict[int, JobRecord] = {}
+        self._replans = 0
+        self._stats: dict[str, float] = {key: 0.0 for key in _ACCUMULATED_STATS}
+        self._slot_budget = (
+            config.admission.max_concurrent()
+            if config.admission is not None else None
+        )
+        self._ran = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _admit_ready(self) -> int:
+        """Admit due arrivals while adapter slots are free."""
+        admitted = 0
+        while self._pending:
+            job = self._pending[0]
+            if job.arrival_time > self.executor.clock:
+                break
+            if (self._slot_budget is not None
+                    and len(self._active) >= self._slot_budget):
+                break
+            self._pending.pop(0)
+            record = self._records[job.adapter_id]
+            record.admit_time = self.executor.clock
+            self.executor.add_job(job)
+            self._active[job.adapter_id] = _ActiveJob(
+                serve_job=job,
+                batches=job.job.dataset.global_batches(job.job.global_batch_size),
+                record=record,
+            )
+            admitted += 1
+        return admitted
+
+    def _retire(self, adapter_id: int) -> None:
+        self.executor.remove_job(adapter_id)
+        self._splicer.retire(adapter_id)
+        del self._active[adapter_id]
+
+    def _handle_events(self, events: list[StepEvent]) -> int:
+        """Record optimizer-step completions; retire finished jobs."""
+        retired = 0
+        for event in events:
+            state = self._active.get(event.adapter_id)
+            if state is None:
+                raise ScheduleError(
+                    f"step event for unknown job {event.adapter_id}"
+                )
+            state.steps_completed += 1
+            if state.finished:
+                state.record.finish_time = event.time
+                self._retire(event.adapter_id)
+                retired += 1
+        return retired
+
+    # -- planning -----------------------------------------------------------
+
+    def _window_job(self, state: _ActiveJob) -> AdapterJob:
+        """The job's next window as an offset-carrying scheduler job."""
+        window = self.config.window_batches
+        end = (
+            state.num_batches
+            if window is None
+            else min(state.num_batches, state.next_batch + window)
+        )
+        batches = state.batches[state.next_batch : end]
+        source_job = state.serve_job.job
+        dataset = FinetuneDataset(
+            adapter_id=source_job.adapter_id,
+            samples=[sample for batch in batches for sample in batch],
+            source=source_job.dataset.source,
+        )
+        job = AdapterJob(
+            adapter_id=source_job.adapter_id,
+            dataset=dataset,
+            global_batch_size=source_job.global_batch_size,
+            batch_offset=state.next_batch,
+        )
+        state.next_batch = end
+        return job
+
+    def _plan_wave(self) -> list[Microbatch]:
+        """Schedule the live jobs' next windows and splice the result."""
+        wave_jobs = [
+            self._window_job(state)
+            for state in self._active.values()
+            if not state.fully_scheduled
+        ]
+        scheduler = MultiLoRAScheduler(wave_jobs, self.config.scheduler)
+        window = scheduler.assemble(scheduler.plan_step())
+        for key in _ACCUMULATED_STATS:
+            self._stats[key] += window.stats.get(key, 0.0)
+        spliced = self._splicer.splice(window.microbatches, plan_id=self._replans)
+        self._replans += 1
+        return spliced
+
+    def _execute(self, microbatches: list[Microbatch]) -> None:
+        for mb in microbatches:
+            if not mb.is_noop:
+                for adapter_id in {a.adapter_id for a in mb.assignments}:
+                    record = self._records[adapter_id]
+                    if record.first_scheduled_time is None:
+                        record.first_scheduled_time = self.executor.clock
+            self.stream.append(mb)
+            self._handle_events(self.executor.submit(mb))
+
+    # -- the serving loop ---------------------------------------------------
+
+    def run(self, workload: list[ServeJob]) -> OrchestratorResult:
+        """Serve ``workload`` to completion.
+
+        Args:
+            workload: Jobs with distinct adapter ids, any arrival order.
+
+        Returns:
+            Per-job latency records plus stream-level statistics.
+        """
+        if self._ran:
+            raise ScheduleError(
+                "OnlineOrchestrator.run is single-shot (stream and metric "
+                "state are per-run); construct a fresh orchestrator"
+            )
+        self._ran = True
+        ids = [job.adapter_id for job in workload]
+        if len(set(ids)) != len(ids):
+            raise ScheduleError(f"duplicate adapter ids in workload: {ids}")
+        self._pending = sorted(workload, key=lambda job: (job.arrival_time,
+                                                          job.adapter_id))
+        self._records = {
+            job.adapter_id: JobRecord(
+                adapter_id=job.adapter_id,
+                arrival_time=job.arrival_time,
+                num_batches=job.job.num_global_batches(),
+                total_tokens=job.job.dataset.total_tokens(),
+            )
+            for job in workload
+        }
+
+        while self._pending or self._active:
+            progressed = self._admit_ready() > 0
+            schedulable = [
+                state for state in self._active.values()
+                if not state.fully_scheduled
+            ]
+            if schedulable:
+                self._execute(self._plan_wave())
+                continue
+            # Nothing left to plan: flush in-flight work, then either the
+            # freed slots admit waiting jobs or the clock jumps to the
+            # next arrival.
+            progressed |= self._handle_events(self.executor.drain()) > 0
+            if not self._active and self._pending:
+                next_arrival = self._pending[0].arrival_time
+                if next_arrival > self.executor.clock:
+                    self.executor.advance(next_arrival)
+                    progressed = True
+            if not progressed and self._active:
+                raise ScheduleError(
+                    "orchestrator stalled: active jobs are fully scheduled "
+                    "but never completed (executor dropped step events?)"
+                )
+        self._handle_events(self.executor.drain())
+        return self._result()
+
+    # -- reporting ----------------------------------------------------------
+
+    def _result(self) -> OrchestratorResult:
+        violations = find_violations(
+            self.stream, self.config.scheduler.num_stages
+        )
+        return OrchestratorResult(
+            records=self._records,
+            makespan=self.executor.clock,
+            total_tokens=sum(mb.real_tokens for mb in self.stream),
+            total_microbatches=len(self.stream),
+            noop_microbatches=sum(1 for mb in self.stream if mb.is_noop),
+            replans=self._replans,
+            splice_noops=self._splicer.noops_inserted,
+            utilization=self.executor.utilization(),
+            violations=len(violations),
+            stats=dict(self._stats),
+        )
+
+    def stream_schedule(self) -> Schedule:
+        """The full spliced stream as a dumpable :class:`Schedule`."""
+        return Schedule(
+            microbatches=list(self.stream),
+            num_stages=self.config.scheduler.num_stages,
+            stats={"replans": float(self._replans)},
+        )

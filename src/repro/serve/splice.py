@@ -1,0 +1,64 @@
+"""Splicing window schedules into the in-flight microbatch stream.
+
+Each replanning wave produces a window schedule that is internally
+bubble-lemma-safe, but knows nothing about the microbatches already
+submitted: a job's first window batch may depend on its previous window's
+last optimizer step.  The splicer carries the live stream's
+``(adapter, batch) -> last position`` state across waves and re-runs no-op
+insertion at the junction, so the *concatenated* stream satisfies the
+bubble lemma end to end -- the invariant
+:func:`repro.scheduler.bubble.find_violations` checks and the acceptance
+tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.bubble import insert_noops
+from repro.scheduler.types import Microbatch
+
+__all__ = ["StreamSplicer"]
+
+
+class StreamSplicer:
+    """Stateful cross-window no-op inserter for one executor stream.
+
+    Args:
+        num_stages: Pipeline depth the stream must respect.
+    """
+
+    def __init__(self, num_stages: int) -> None:
+        self.num_stages = num_stages
+        self.length = 0
+        self.noops_inserted = 0
+        self._last_position: dict[tuple[int, int], int] = {}
+
+    def splice(
+        self, microbatches: list[Microbatch], plan_id: int | None = None
+    ) -> list[Microbatch]:
+        """Space a window's microbatches against the stream emitted so far.
+
+        Args:
+            microbatches: The window schedule, in execution order.
+            plan_id: Provenance stamp applied to every microbatch
+                (including junction no-ops) when given.
+
+        Returns:
+            The window with junction no-ops inserted; ready to submit.
+        """
+        spliced, inserted = insert_noops(
+            microbatches,
+            self.num_stages,
+            initial_last=self._last_position,
+            start_position=self.length,
+        )
+        if plan_id is not None:
+            for mb in spliced:
+                mb.plan_id = plan_id
+        self.length += len(spliced)
+        self.noops_inserted += inserted
+        return spliced
+
+    def retire(self, adapter_id: int) -> None:
+        """Drop a finished adapter's position bookkeeping."""
+        for key in [k for k in self._last_position if k[0] == adapter_id]:
+            del self._last_position[key]

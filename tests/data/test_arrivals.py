@@ -1,0 +1,40 @@
+"""Tests for job arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.data.arrivals import poisson_times, trace_times
+from repro.errors import ReproError
+
+
+class TestPoissonTimes:
+    def test_deterministic_per_seed(self):
+        assert poisson_times(10, 0.5, rng=3) == poisson_times(10, 0.5, rng=3)
+
+    def test_strictly_increasing_and_positive(self):
+        times = poisson_times(50, 2.0, rng=1)
+        assert len(times) == 50
+        assert times[0] > 0
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_rate_sets_mean_gap(self):
+        times = poisson_times(4000, 0.25, rng=0)
+        gaps = np.diff([0.0] + times)
+        assert gaps.mean() == pytest.approx(4.0, rel=0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            poisson_times(0, 1.0)
+        with pytest.raises(ReproError):
+            poisson_times(5, 0.0)
+
+
+class TestTraceTimes:
+    def test_sorts_and_floats(self):
+        assert trace_times([3, 1.5, 2]) == [1.5, 2.0, 3.0]
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ReproError):
+            trace_times([])
+        with pytest.raises(ReproError):
+            trace_times([1.0, -0.1])

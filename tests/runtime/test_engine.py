@@ -1,0 +1,189 @@
+"""Tests for the resumable numeric engine (submit / add_job / remove_job)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lora import LoRAConfig
+from repro.data.dataset import Sample
+from repro.errors import ScheduleError
+from repro.models import TINY, TinyLoRATransformer
+from repro.runtime import MultiLoRAEngine, NumericJob
+from repro.scheduler import Assignment, Microbatch, Schedule
+
+
+def make_job(aid, n=4, gbs=2, rank=2, seed=0):
+    rng = np.random.default_rng((seed, aid))
+    streams = [rng.integers(0, TINY.vocab_size, 6) for _ in range(n)]
+    return NumericJob(
+        adapter_id=aid,
+        lora=LoRAConfig(rank=rank, alpha=1.0, dropout=0.0, adapter_id=aid),
+        token_streams=streams,
+        global_batch_size=gbs,
+    )
+
+
+def batch_mb(job, batch):
+    mb = Microbatch(capacity=256, padding_multiple=1)
+    for i in job.batch_indices(batch):
+        mb.add(Assignment(Sample(job.adapter_id, i,
+                                 len(job.token_streams[i])), batch))
+    return mb
+
+
+class TestResumableSubmission:
+    def test_submit_reports_completed_steps(self):
+        job = make_job(0)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        completed = engine.submit(batch_mb(job, 0))
+        assert len(completed) == 1
+        assert completed[0].adapter_id == 0
+        assert completed[0].global_batch == 0
+        assert completed[0].loss > 0
+        assert engine.steps_done(0) == 1
+
+    def test_partial_batch_defers_step(self):
+        job = make_job(0, n=4, gbs=4)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        half = Microbatch(capacity=256, padding_multiple=1)
+        for i in (0, 1):
+            half.add(Assignment(Sample(0, i, len(job.token_streams[i])), 0))
+        assert engine.submit(half) == []
+        rest = Microbatch(capacity=256, padding_multiple=1)
+        for i in (2, 3):
+            rest.add(Assignment(Sample(0, i, len(job.token_streams[i])), 0))
+        assert len(engine.submit(rest)) == 1
+
+    def test_submit_sequence_matches_run(self):
+        jobs = [make_job(0), make_job(1, gbs=4)]
+        stream = [batch_mb(jobs[0], 0), batch_mb(jobs[1], 0),
+                  batch_mb(jobs[0], 1)]
+        run_model = TinyLoRATransformer(TINY, np.random.default_rng(1))
+        MultiLoRAEngine(run_model, [make_job(0), make_job(1, gbs=4)]).run(
+            Schedule(microbatches=list(stream))
+        )
+        submit_model = TinyLoRATransformer(TINY, np.random.default_rng(1))
+        engine = MultiLoRAEngine(submit_model, jobs)
+        for mb in stream:
+            engine.submit(mb)
+        for aid in (0, 1):
+            p1, p2 = run_model.adapter_state(aid), submit_model.adapter_state(aid)
+            for key in p1:
+                np.testing.assert_array_equal(p1[key].a, p2[key].a)
+                np.testing.assert_array_equal(p1[key].b, p2[key].b)
+
+    def test_out_of_range_batch_rejected(self):
+        job = make_job(0, n=2, gbs=2)  # a single global batch
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        engine.submit(batch_mb(job, 0))
+        rogue = Microbatch(capacity=256, padding_multiple=1)
+        rogue.add(Assignment(Sample(0, 0, len(job.token_streams[0])), 1))
+        with pytest.raises(ScheduleError, match="no global batch"):
+            engine.submit(rogue)
+
+    def test_noop_is_free(self):
+        job = make_job(0)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        assert engine.submit(Microbatch()) == []
+        assert engine.microbatches_executed == 0
+
+
+class TestJobLifecycle:
+    def test_add_job_mid_run(self):
+        first = make_job(0)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [first])
+        engine.submit(batch_mb(first, 0))
+        late = make_job(1)
+        engine.add_job(late)
+        completed = engine.submit(batch_mb(late, 0))
+        assert [c.adapter_id for c in completed] == [1]
+        assert engine.steps_done(0) == 1
+        assert engine.steps_done(1) == 1
+
+    def test_duplicate_add_rejected(self):
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [make_job(0)])
+        with pytest.raises(ScheduleError, match="duplicate"):
+            engine.add_job(make_job(0))
+
+    def test_remove_keeps_weights_and_history(self):
+        job = make_job(0)
+        model = TinyLoRATransformer(TINY)
+        engine = MultiLoRAEngine(model, [job])
+        for b in range(job.num_global_batches()):
+            engine.submit(batch_mb(job, b))
+        engine.remove_job(0)
+        assert 0 in model.adapters  # trained weights survive retirement
+        assert engine.steps_done(0) == job.num_global_batches()
+        assert len(engine.losses(0)) == job.num_global_batches()
+        with pytest.raises(ScheduleError, match="unknown job"):
+            engine.submit(batch_mb(job, 0))
+
+    def test_remove_unknown_job_rejected(self):
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [make_job(0)])
+        with pytest.raises(ScheduleError, match="unknown job"):
+            engine.remove_job(7)
+
+    def test_readd_of_retired_adapter_rejected(self):
+        # Adapter ids are one-lifecycle identities: re-admitting a retired
+        # id would restart a trained adapter with reset optimizer moments.
+        job = make_job(0, rank=2)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        engine.submit(batch_mb(job, 0))
+        engine.remove_job(0)
+        with pytest.raises(ScheduleError, match="fresh adapter id"):
+            engine.add_job(make_job(0, rank=2))
+        engine.add_job(make_job(1, rank=2))  # a fresh id is fine
+
+    def test_run_reports_per_call_deltas(self):
+        job = make_job(0)  # 2 global batches
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        engine.submit(batch_mb(job, 0))
+        result = engine.run(Schedule(microbatches=[batch_mb(job, 1)]))
+        assert result.steps == {0: 1}
+        assert len(result.losses[0]) == 1
+        assert result.microbatches_executed == 1
+        assert engine.steps_done(0) == 2  # lifetime total stays queryable
+
+
+class TestExactAccumulation:
+    def test_exact_mode_matches_packed_closely(self):
+        # Exact mode changes only the gradient summation association, so
+        # the two modes agree to float round-off.
+        jobs = [make_job(0, n=4, gbs=2)]
+        stream = [batch_mb(jobs[0], 0), batch_mb(jobs[0], 1)]
+        packed_model = TinyLoRATransformer(TINY, np.random.default_rng(2))
+        MultiLoRAEngine(packed_model, [make_job(0, n=4, gbs=2)]).run(
+            Schedule(microbatches=list(stream))
+        )
+        exact_model = TinyLoRATransformer(TINY, np.random.default_rng(2))
+        MultiLoRAEngine(
+            exact_model, jobs, exact_accumulation=True
+        ).run(Schedule(microbatches=list(stream)))
+        for key in packed_model.adapter_state(0):
+            np.testing.assert_allclose(
+                packed_model.adapter_state(0)[key].a,
+                exact_model.adapter_state(0)[key].a,
+                atol=1e-10,
+            )
+
+    def test_exact_mode_is_packing_order_invariant(self):
+        # Reversing the sample order inside a microbatch changes packed
+        # accumulation bitwise but not exact accumulation.
+        job = make_job(0, n=4, gbs=4)
+        forward = batch_mb(job, 0)
+        backward = Microbatch(capacity=256, padding_multiple=1)
+        for a in reversed(forward.assignments):
+            backward.add(a)
+        params = {}
+        for label, mb in (("fwd", forward), ("bwd", backward)):
+            model = TinyLoRATransformer(TINY, np.random.default_rng(3))
+            engine = MultiLoRAEngine(model, [make_job(0, n=4, gbs=4)],
+                                     exact_accumulation=True)
+            engine.submit(mb)
+            params[label] = model.adapter_state(0)
+        for key in params["fwd"]:
+            np.testing.assert_array_equal(
+                params["fwd"][key].a, params["bwd"][key].a
+            )
+            np.testing.assert_array_equal(
+                params["fwd"][key].b, params["bwd"][key].b
+            )

@@ -139,6 +139,104 @@ class TestParallelPacking:
             assert key(a) == key(b)
 
 
+def microbatch_stream_key(schedule):
+    """The schedule's observable stream: exact assignments in order."""
+    return [
+        [
+            (a.adapter_id, a.sample.index, a.global_batch)
+            for a in mb.assignments
+        ]
+        for mb in schedule.microbatches
+    ]
+
+
+def comparable_stats(schedule):
+    return {k: v for k, v in schedule.stats.items() if k != "tuning_seconds"}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_same_jobs_same_config_same_stream(self, workers):
+        config = fast_config(max_workers=workers)
+        first = MultiLoRAScheduler(make_jobs(samples=16, gbs=8),
+                                   config).schedule()
+        second = MultiLoRAScheduler(make_jobs(samples=16, gbs=8),
+                                    config).schedule()
+        assert microbatch_stream_key(first) == microbatch_stream_key(second)
+        assert comparable_stats(first) == comparable_stats(second)
+
+    def test_workers_do_not_change_the_stream(self):
+        inline = MultiLoRAScheduler(
+            make_jobs(samples=16, gbs=8), fast_config(max_workers=0)
+        ).schedule()
+        parallel = MultiLoRAScheduler(
+            make_jobs(samples=16, gbs=8), fast_config(max_workers=3)
+        ).schedule()
+        assert microbatch_stream_key(inline) == microbatch_stream_key(parallel)
+        assert comparable_stats(inline) == comparable_stats(parallel)
+
+    def test_deterministic_with_milp_and_merge(self):
+        config = fast_config(use_milp=True, milp_timeout=2.0)
+        runs = [
+            MultiLoRAScheduler(make_jobs(samples=12, gbs=6), config).schedule()
+            for _ in range(2)
+        ]
+        assert microbatch_stream_key(runs[0]) == microbatch_stream_key(runs[1])
+        assert comparable_stats(runs[0]) == comparable_stats(runs[1])
+
+
+class TestTwoPhaseAPI:
+    def test_plan_then_assemble_equals_schedule(self):
+        scheduler = MultiLoRAScheduler(make_jobs(samples=16, gbs=8),
+                                       fast_config())
+        phased = scheduler.assemble(scheduler.plan_step())
+        direct = MultiLoRAScheduler(make_jobs(samples=16, gbs=8),
+                                    fast_config()).schedule()
+        assert microbatch_stream_key(phased) == microbatch_stream_key(direct)
+        assert comparable_stats(phased) == comparable_stats(direct)
+
+    def test_explicit_groups_are_respected(self):
+        jobs = make_jobs(4, samples=16, gbs=8)
+        scheduler = MultiLoRAScheduler(jobs, fast_config())
+        groups = [[jobs[0], jobs[3]], [jobs[1], jobs[2]]]
+        plan = scheduler.plan_step(groups=groups)
+        assert plan.groups == groups
+        schedule = scheduler.assemble(plan)
+        assert schedule.stats["groups"] == 2.0
+        assert find_violations(schedule.microbatches, 4) == []
+
+    def test_groups_must_cover_all_jobs(self):
+        jobs = make_jobs(4, samples=16, gbs=8)
+        scheduler = MultiLoRAScheduler(jobs, fast_config())
+        with pytest.raises(ScheduleError, match="groups cover"):
+            scheduler.plan_step(groups=[[jobs[0], jobs[1]]])  # 2 and 3 missing
+        with pytest.raises(ScheduleError, match="groups cover"):
+            scheduler.plan_step(groups=[[jobs[0], jobs[1]],
+                                        [jobs[2], jobs[3], jobs[0]]])
+
+    def test_batch_offset_shifts_global_batch_labels(self):
+        jobs = make_jobs(2, samples=8, gbs=4)
+        offset_jobs = [
+            AdapterJob(j.adapter_id, j.dataset, j.global_batch_size,
+                       batch_offset=5)
+            for j in jobs
+        ]
+        schedule = MultiLoRAScheduler(offset_jobs, fast_config()).schedule()
+        labels = {
+            a.global_batch
+            for mb in schedule.microbatches
+            for a in mb.assignments
+        }
+        assert labels == {5, 6}
+        # Batch indices still map to sample positions within the window.
+        for job in offset_jobs:
+            for mb in schedule.microbatches:
+                for a in mb.assignments:
+                    if a.adapter_id == job.adapter_id:
+                        expected = 5 + a.sample.index // job.global_batch_size
+                        assert a.global_batch == expected
+
+
 class TestSingleJob:
     def test_single_adapter_gets_noops(self):
         # With one adapter there is no other group to fill the dependency

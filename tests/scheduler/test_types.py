@@ -1,5 +1,7 @@
 """Tests for scheduler datatypes: microbatch token accounting."""
 
+import json
+
 import pytest
 
 from repro.data.dataset import FinetuneDataset, Sample
@@ -89,3 +91,49 @@ class TestSchedule:
         assert schedule.total_tokens == 100
         assert schedule.total_padded_tokens == 128
         assert len(schedule) == 2
+
+
+class TestScheduleSerialization:
+    def make_schedule(self):
+        mb1 = Microbatch(capacity=256, padding_multiple=64, group=1, step=2,
+                         plan_id=3)
+        mb1.add(Assignment(sample(0, 4, 100), 2))
+        mb1.add(Assignment(sample(1, 0, 40), 2))
+        noop = Microbatch(capacity=256, padding_multiple=64, plan_id=3)
+        return Schedule(
+            microbatches=[mb1, noop],
+            num_stages=4,
+            stats={"merges": 1.0, "noops_inserted": 1.0},
+        )
+
+    def test_round_trip_through_json(self):
+        schedule = self.make_schedule()
+        rebuilt = Schedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert rebuilt.num_stages == schedule.num_stages
+        assert rebuilt.stats == schedule.stats
+        assert len(rebuilt) == len(schedule)
+        for original, copy in zip(schedule.microbatches, rebuilt.microbatches):
+            assert copy.capacity == original.capacity
+            assert copy.padding_multiple == original.padding_multiple
+            assert (copy.group, copy.step, copy.plan_id) == (
+                original.group, original.step, original.plan_id,
+            )
+            assert copy.padded_tokens == original.padded_tokens
+            assert [
+                (a.adapter_id, a.sample.index, a.length, a.global_batch)
+                for a in copy.assignments
+            ] == [
+                (a.adapter_id, a.sample.index, a.length, a.global_batch)
+                for a in original.assignments
+            ]
+
+    def test_round_trip_preserves_noops(self):
+        rebuilt = Schedule.from_dict(self.make_schedule().to_dict())
+        assert rebuilt.microbatches[1].is_noop
+
+    def test_missing_plan_id_defaults_to_zero(self):
+        payload = self.make_schedule().to_dict()
+        for entry in payload["microbatches"]:
+            del entry["plan_id"]
+        rebuilt = Schedule.from_dict(payload)
+        assert all(mb.plan_id == 0 for mb in rebuilt.microbatches)

@@ -1,0 +1,44 @@
+"""Tests for admission control."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.gpu import H100, L40S
+from repro.models.config import LLAMA3_70B, LLAMA3_8B
+from repro.serve import AdmissionPolicy, MemoryAdmission, SlotAdmission
+
+
+class TestSlotAdmission:
+    def test_fixed_budget(self):
+        assert SlotAdmission(3).max_concurrent() == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ScheduleError):
+            SlotAdmission(0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SlotAdmission(1), AdmissionPolicy)
+
+
+class TestMemoryAdmission:
+    def test_slots_match_memory_model(self):
+        policy = MemoryAdmission(LLAMA3_8B, H100, capacity=8192, num_stages=1)
+        slots = policy.max_concurrent()
+        assert slots >= 1
+        assert policy.fits(slots)
+        assert slots == 256 or not policy.fits(slots + 1)
+
+    def test_smaller_gpu_admits_fewer(self):
+        big = MemoryAdmission(LLAMA3_8B, H100, capacity=4096)
+        small = MemoryAdmission(LLAMA3_8B, L40S, capacity=4096)
+        assert small.max_concurrent() < big.max_concurrent()
+
+    def test_infeasible_configuration_raises(self):
+        # A 70B model on one 48GB GPU cannot host even a single adapter.
+        policy = MemoryAdmission(LLAMA3_70B, L40S, capacity=8192)
+        with pytest.raises(ScheduleError, match="does not fit"):
+            policy.max_concurrent()
+
+    def test_satisfies_protocol(self):
+        policy = MemoryAdmission(LLAMA3_8B, H100, capacity=4096)
+        assert isinstance(policy, AdmissionPolicy)

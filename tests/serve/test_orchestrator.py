@@ -1,0 +1,198 @@
+"""Tests for the online orchestrator's serving loop."""
+
+import pytest
+
+from repro.data import synthetic_dataset
+from repro.errors import ScheduleError
+from repro.gpu import H100
+from repro.models.config import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import (
+    AdapterJob,
+    MultiLoRAScheduler,
+    Schedule,
+    SchedulerConfig,
+    find_violations,
+)
+from repro.serve import (
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    ServeJob,
+    SlotAdmission,
+    StreamingSimExecutor,
+)
+
+DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+
+
+def make_jobs(count, samples=16, gbs=8, seed=3):
+    return [
+        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], samples, seed=seed),
+                   gbs)
+        for a in range(count)
+    ]
+
+
+def make_orchestrator(num_stages=2, window=1, slots=None, **scheduler_overrides):
+    settings = dict(capacity=8192, num_stages=num_stages, use_milp=False)
+    settings.update(scheduler_overrides)
+    config = OrchestratorConfig(
+        scheduler=SchedulerConfig(**settings),
+        window_batches=window,
+        admission=SlotAdmission(slots) if slots else None,
+    )
+    cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+    executor = StreamingSimExecutor(cost, num_stages)
+    return OnlineOrchestrator(executor, config)
+
+
+class TestServingLoop:
+    def test_all_jobs_complete_with_zero_violations(self):
+        jobs = make_jobs(4)
+        workload = [
+            ServeJob(job=job, arrival_time=0.25 * i)
+            for i, job in enumerate(jobs)
+        ]
+        orchestrator = make_orchestrator(num_stages=2, window=1)
+        result = orchestrator.run(workload)
+        assert result.violations == 0
+        assert find_violations(orchestrator.stream, 2) == []
+        for job in jobs:
+            record = result.records[job.adapter_id]
+            assert record.finish_time is not None
+            assert record.completion_time > 0
+            assert record.num_batches == job.num_global_batches()
+
+    def test_every_sample_scheduled_exactly_once_under_churn(self):
+        jobs = make_jobs(5, samples=20, gbs=5)
+        workload = [
+            ServeJob(job=job, arrival_time=float(i))
+            for i, job in enumerate(jobs)
+        ]
+        orchestrator = make_orchestrator(num_stages=4, window=2, slots=3)
+        orchestrator.run(workload)
+        for job in jobs:
+            seen = sorted(
+                a.sample.index
+                for mb in orchestrator.stream
+                for a in mb.assignments
+                if a.adapter_id == job.adapter_id
+            )
+            assert seen == list(range(len(job.dataset)))
+
+    def test_batch_order_preserved_per_job(self):
+        jobs = make_jobs(3, samples=12, gbs=4)
+        workload = [
+            ServeJob(job=job, arrival_time=0.5 * i)
+            for i, job in enumerate(jobs)
+        ]
+        orchestrator = make_orchestrator(num_stages=2, window=1)
+        orchestrator.run(workload)
+        schedule = orchestrator.stream_schedule()
+        for job in jobs:
+            batches = [b for b, _ in schedule.adapter_sample_order(job.adapter_id)]
+            assert batches == sorted(batches)
+            assert batches[-1] == job.num_global_batches() - 1
+
+    def test_slot_budget_respected(self):
+        jobs = make_jobs(6, samples=8, gbs=4)
+        workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
+        orchestrator = make_orchestrator(num_stages=2, window=1, slots=2)
+
+        max_active = 0
+        original = orchestrator._plan_wave
+
+        def tracking_plan():
+            nonlocal max_active
+            max_active = max(max_active, len(orchestrator._active))
+            return original()
+
+        orchestrator._plan_wave = tracking_plan
+        result = orchestrator.run(workload)
+        assert max_active <= 2
+        assert all(r.finish_time is not None for r in result.records.values())
+        # Later jobs queued for a slot.
+        assert result.mean_queueing_delay() > 0
+
+    def test_queueing_metrics_monotone_with_fewer_slots(self):
+        jobs = make_jobs(6, samples=8, gbs=4)
+        workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
+        tight = make_orchestrator(num_stages=2, window=1, slots=1).run(workload)
+        loose = make_orchestrator(num_stages=2, window=1, slots=6).run(workload)
+        assert tight.mean_queueing_delay() >= loose.mean_queueing_delay()
+        assert loose.mean_queueing_delay() == 0.0
+
+    def test_idle_gap_fast_forwards_clock(self):
+        jobs = make_jobs(2, samples=8, gbs=4)
+        workload = [
+            ServeJob(job=jobs[0], arrival_time=0.0),
+            ServeJob(job=jobs[1], arrival_time=1000.0),
+        ]
+        result = make_orchestrator(num_stages=2, window=2).run(workload)
+        assert result.makespan >= 1000.0
+        record = result.records[1]
+        assert record.admit_time == pytest.approx(1000.0)
+
+    def test_oracle_mode_matches_offline_schedule(self):
+        # All jobs at t=0 with an unbounded window is the offline oracle:
+        # one wave, and the stream equals the offline scheduler's output.
+        jobs = make_jobs(4)
+        workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
+        orchestrator = make_orchestrator(num_stages=2, window=None)
+        result = orchestrator.run(workload)
+        offline = MultiLoRAScheduler(
+            jobs, SchedulerConfig(capacity=8192, num_stages=2, use_milp=False)
+        ).schedule()
+        assert result.replans == 1
+        key = lambda mb: sorted(
+            (a.adapter_id, a.sample.index, a.global_batch)
+            for a in mb.assignments
+        )
+        assert [key(mb) for mb in orchestrator.stream] == [
+            key(mb) for mb in offline.microbatches
+        ]
+
+    def test_run_is_single_shot(self):
+        jobs = make_jobs(2, samples=8, gbs=4)
+        workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
+        orchestrator = make_orchestrator(num_stages=2, window=1)
+        orchestrator.run(workload)
+        with pytest.raises(ScheduleError, match="single-shot"):
+            orchestrator.run(workload)
+
+    def test_duplicate_adapter_ids_rejected(self):
+        job = make_jobs(1)[0]
+        workload = [
+            ServeJob(job=job, arrival_time=0.0),
+            ServeJob(job=job, arrival_time=1.0),
+        ]
+        with pytest.raises(ScheduleError, match="duplicate"):
+            make_orchestrator().run(workload)
+
+    def test_stream_schedule_round_trips_through_json(self):
+        jobs = make_jobs(3, samples=8, gbs=4)
+        workload = [
+            ServeJob(job=job, arrival_time=0.1 * i)
+            for i, job in enumerate(jobs)
+        ]
+        orchestrator = make_orchestrator(num_stages=2, window=1)
+        orchestrator.run(workload)
+        schedule = orchestrator.stream_schedule()
+        rebuilt = Schedule.from_dict(schedule.to_dict())
+        assert len(rebuilt) == len(schedule)
+        assert [mb.plan_id for mb in rebuilt.microbatches] == [
+            mb.plan_id for mb in schedule.microbatches
+        ]
+        assert find_violations(rebuilt.microbatches, 2) == []
+
+    def test_plan_ids_trace_replanning_waves(self):
+        jobs = make_jobs(3, samples=12, gbs=4)
+        workload = [
+            ServeJob(job=job, arrival_time=0.2 * i)
+            for i, job in enumerate(jobs)
+        ]
+        orchestrator = make_orchestrator(num_stages=2, window=1)
+        result = orchestrator.run(workload)
+        plan_ids = [mb.plan_id for mb in orchestrator.stream]
+        assert plan_ids == sorted(plan_ids)
+        assert len(set(plan_ids)) == result.replans

@@ -1,0 +1,68 @@
+"""Tests for cross-window stream splicing."""
+
+from repro.scheduler import Assignment, Microbatch, find_violations
+from repro.scheduler.bubble import dependency_gap
+from repro.data.dataset import Sample
+from repro.serve import StreamSplicer
+
+
+def mb(aid, index, batch, length=10):
+    out = Microbatch(capacity=1024, padding_multiple=1)
+    out.add(Assignment(Sample(aid, index, length), batch))
+    return out
+
+
+class TestStreamSplicer:
+    def test_single_window_passthrough(self):
+        splicer = StreamSplicer(num_stages=1)
+        window = [mb(0, 0, 0), mb(0, 1, 1)]
+        out = splicer.splice(window)
+        assert len(out) == 2
+        assert splicer.noops_inserted == 0
+        assert find_violations(out, 1) == []
+
+    def test_junction_noops_inserted(self):
+        # Window 1 ends with adapter 0 batch 0; window 2 starts with its
+        # batch 1 immediately -- the junction must be padded to the gap.
+        stages = 4
+        splicer = StreamSplicer(num_stages=stages)
+        first = splicer.splice([mb(0, 0, 0)])
+        second = splicer.splice([mb(0, 1, 1)])
+        stream = first + second
+        assert splicer.noops_inserted == dependency_gap(stages) - 1
+        assert find_violations(stream, stages) == []
+        assert all(m.is_noop for m in second[:-1])
+
+    def test_other_adapters_fill_junction(self):
+        # Work from another adapter between the two batches means fewer
+        # (here: zero) junction no-ops.
+        stages = 2
+        splicer = StreamSplicer(num_stages=stages)
+        first = splicer.splice([mb(0, 0, 0), mb(1, 0, 0), mb(2, 0, 0)])
+        second = splicer.splice([mb(0, 1, 1)])
+        assert splicer.noops_inserted == 0
+        assert find_violations(first + second, stages) == []
+
+    def test_plan_id_stamped_on_window_and_noops(self):
+        splicer = StreamSplicer(num_stages=3)
+        splicer.splice([mb(0, 0, 0)], plan_id=0)
+        second = splicer.splice([mb(0, 1, 1)], plan_id=7)
+        assert {m.plan_id for m in second} == {7}
+
+    def test_retire_forgets_adapter(self):
+        stages = 4
+        splicer = StreamSplicer(num_stages=stages)
+        splicer.splice([mb(0, 0, 0)])
+        splicer.retire(0)
+        # With the bookkeeping gone, a (new tenant reusing the id) batch-1
+        # microbatch is not spaced against the retired stream.
+        out = splicer.splice([mb(0, 1, 1)])
+        assert len(out) == 1
+
+    def test_positions_accumulate_across_windows(self):
+        splicer = StreamSplicer(num_stages=2)
+        splicer.splice([mb(0, 0, 0)])
+        splicer.splice([mb(1, 0, 0)])
+        assert splicer.length == 2
+        out = splicer.splice([mb(0, 1, 1)])
+        assert splicer.length == 2 + len(out)
