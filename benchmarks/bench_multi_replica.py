@@ -1,0 +1,157 @@
+"""Multi-replica serving: replica count vs JCT, utilization, throughput.
+
+Beyond the paper's single-pipeline evaluation: the same Poisson tenant
+stream is served by 1, 2, and 4 pipeline replicas behind a least-loaded
+:class:`~repro.serve.router.TenantRouter`, plus a 2-replica
+packing-affinity configuration with migration enabled.  At equal offered
+load, adding replicas must raise job throughput (finished jobs per unit
+virtual time) and cut mean JCT; per-replica utilization drops as the
+fleet outruns the arrival process -- the classic capacity/latency trade
+this bench quantifies.
+
+Run under pytest (the default seed) or standalone:
+
+    PYTHONPATH=src:. python benchmarks/bench_multi_replica.py --seed 13
+"""
+
+import argparse
+
+from benchmarks.common import fmt_row, write_table
+from repro.data import synthetic_dataset
+from repro.gpu import H100
+from repro.models import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import (
+    OrchestratorConfig,
+    PackingAffinityRouting,
+    ReplicaSet,
+    ReplicaSetConfig,
+    SlotAdmission,
+    StreamingSimExecutor,
+    poisson_workload,
+)
+
+NUM_JOBS = 8
+NUM_STAGES = 4
+CAPACITY = 8192
+SLOTS = 4
+# High enough that one pipeline is service-bound (backlogged), so adding
+# replicas shows up as throughput, not just idle capacity.
+RATE = 4.0
+DEFAULT_SEED = 7
+REPLICA_COUNTS = (1, 2, 4)
+DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+
+
+def make_jobs(seed):
+    return [
+        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], 24, seed=seed),
+                   8)
+        for a in range(NUM_JOBS)
+    ]
+
+
+def serve(workload, num_replicas, routing=None, migration_threshold=None):
+    config = ReplicaSetConfig(
+        orchestrator=OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=CAPACITY,
+                                      num_stages=NUM_STAGES,
+                                      use_milp=False),
+            window_batches=2,
+            admission=SlotAdmission(SLOTS),
+        ),
+        routing=routing,
+        migration_threshold=migration_threshold,
+    )
+    cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+    executors = [
+        StreamingSimExecutor(cost, NUM_STAGES) for _ in range(num_replicas)
+    ]
+    result = ReplicaSet(executors, config).run(workload)
+    assert result.violations == 0
+    return result
+
+
+def sweep(seed=DEFAULT_SEED):
+    jobs = make_jobs(seed + 10)
+    # Same offered load for every fleet size: identical jobs, identical
+    # arrival process.
+    results = {}
+    for count in REPLICA_COUNTS:
+        workload = poisson_workload(jobs, rate=RATE, rng=seed)
+        results[f"least-loaded-x{count}"] = serve(workload, count)
+    workload = poisson_workload(jobs, rate=RATE, rng=seed)
+    results["affinity+migrate-x2"] = serve(
+        workload, 2, routing=PackingAffinityRouting(),
+        migration_threshold=4,
+    )
+    return results
+
+
+def report(results, seed):
+    widths = [20, 10, 10, 8, 9, 9, 7, 7]
+    lines = [
+        f"Replica count vs JCT/utilization ({NUM_JOBS} jobs, Poisson "
+        f"rate {RATE}, seed {seed}, {SLOTS} slots/replica, "
+        f"{NUM_STAGES}-stage pipelines, LLaMa-8B)",
+        fmt_row(
+            ["scenario", "makespan", "meanJCT", "util", "jobs/t",
+             "tokens/t", "migr", "rerte"],
+            widths,
+        ),
+    ]
+    for name, result in results.items():
+        lines.append(
+            fmt_row(
+                [
+                    name,
+                    f"{result.makespan:.2f}",
+                    f"{result.mean_completion_time():.2f}",
+                    f"{result.utilization():.1%}",
+                    f"{result.jobs_per_time():.3f}",
+                    f"{result.tokens_per_time():.0f}",
+                    result.migrations,
+                    result.reroutes,
+                ],
+                widths,
+            )
+        )
+    write_table("multi_replica", lines)
+
+
+def check(results):
+    single = results["least-loaded-x1"]
+    double = results["least-loaded-x2"]
+    # Every fleet size finishes every job; each job lives on one replica.
+    for result in results.values():
+        assert all(
+            r.finish_time is not None for r in result.records.values()
+        )
+        assert len(result.records) == NUM_JOBS
+        assert result.total_tokens == single.total_tokens
+    # The scale-out claim: at equal offered load, >=2 replicas sustain
+    # strictly higher job throughput than one pipeline.
+    assert double.jobs_per_time() > single.jobs_per_time()
+    assert double.makespan <= single.makespan
+    assert double.mean_completion_time() <= single.mean_completion_time()
+
+
+def test_multi_replica(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(results, DEFAULT_SEED)
+    check(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="workload + arrival seed")
+    args = parser.parse_args()
+    results = sweep(args.seed)
+    report(results, args.seed)
+    check(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,13 @@ admission control.  The oracle knows all jobs at time 0 and schedules the
 whole horizon in one wave -- the best case incremental scheduling can
 approach once every tenant is present.  We report makespan, mean JCT,
 utilization, and the no-op overhead of splicing, for two window sizes.
+
+Run under pytest (the default seed) or standalone:
+
+    PYTHONPATH=src:. python benchmarks/bench_online_serving.py --seed 13
 """
 
-import numpy as np
+import argparse
 
 from benchmarks.common import fmt_row, write_table
 from repro.data import synthetic_dataset
@@ -29,12 +33,14 @@ NUM_JOBS = 8
 NUM_STAGES = 4
 CAPACITY = 8192
 SLOTS = 4
+DEFAULT_SEED = 7
 DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
 
 
-def make_jobs():
+def make_jobs(seed):
     return [
-        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], 24, seed=17), 8)
+        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], 24, seed=seed + 10),
+                   8)
         for a in range(NUM_JOBS)
     ]
 
@@ -56,11 +62,11 @@ def serve(workload, window_batches, slots=SLOTS):
     return result
 
 
-def sweep():
-    jobs = make_jobs()
+def sweep(seed=DEFAULT_SEED):
+    jobs = make_jobs(seed)
     # Arrival rate chosen so several tenants overlap but the system is
     # not permanently saturated (the interesting online regime).
-    online_workload = poisson_workload(jobs, rate=1.5, rng=7)
+    online_workload = poisson_workload(jobs, rate=1.5, rng=seed)
     oracle_workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
     return {
         # The oracle is unconstrained: full information, no slot limit.
@@ -71,12 +77,11 @@ def sweep():
     }
 
 
-def test_online_serving(benchmark):
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def report(results, seed):
     widths = [15, 10, 10, 10, 8, 8, 8]
     lines = [
-        f"Online serving vs oracle ({NUM_JOBS} jobs, {SLOTS} slots, "
-        f"{NUM_STAGES}-stage pipeline, LLaMa-8B)",
+        f"Online serving vs oracle ({NUM_JOBS} jobs, seed {seed}, "
+        f"{SLOTS} slots, {NUM_STAGES}-stage pipeline, LLaMa-8B)",
         fmt_row(
             ["scenario", "makespan", "meanJCT", "meanQdelay", "util",
              "noops", "replans"],
@@ -100,6 +105,8 @@ def test_online_serving(benchmark):
         )
     write_table("online_serving", lines)
 
+
+def check(results):
     oracle = results["oracle-offline"]
     online = results["online-w2"]
     # Every scenario finishes every job.
@@ -118,3 +125,23 @@ def test_online_serving(benchmark):
     # Incremental scheduling pays a bounded bubble overhead: spliced
     # junction no-ops exist but do not dominate the stream.
     assert online.noop_microbatches < online.total_microbatches
+
+
+def test_online_serving(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(results, DEFAULT_SEED)
+    check(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="workload + arrival seed")
+    args = parser.parse_args()
+    results = sweep(args.seed)
+    report(results, args.seed)
+    check(results)
+
+
+if __name__ == "__main__":
+    main()

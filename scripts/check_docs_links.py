@@ -1,0 +1,66 @@
+"""Check intra-repo links in README.md and docs/*.md.
+
+Scans markdown inline links (``[text](target)``) and fails when a
+relative target does not exist in the repository.  External links
+(``http(s)://``), mail links, and pure in-page anchors are skipped;
+anchors on relative targets are stripped before the existence check.
+
+CI runs this as the docs job; ``tests/docs/test_links.py`` runs the same
+check under pytest so broken links fail locally too.
+
+Usage:  python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links; images share the syntax (with a leading ``!``).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced code blocks, where link-looking text is code, not a link.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown files the repository promises to keep link-clean."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links(path: Path) -> list[tuple[str, str]]:
+    """``(target, reason)`` pairs for every broken relative link."""
+    text = _FENCE.sub("", path.read_text())
+    problems = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing file {resolved}"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    for path in doc_files():
+        for target, reason in broken_links(path):
+            print(f"{path.relative_to(REPO_ROOT)}: broken link "
+                  f"'{target}' ({reason})")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"all intra-repo links ok across {len(doc_files())} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 from repro.runtime.engine import (
     CompletedStep,
+    JobState,
     MultiLoRAEngine,
     NumericJob,
     TrainResult,
@@ -12,6 +13,7 @@ __all__ = [
     "AdamWConfig",
     "AdapterOptimizer",
     "CompletedStep",
+    "JobState",
     "MultiLoRAEngine",
     "NumericJob",
     "TrainResult",

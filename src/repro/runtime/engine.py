@@ -39,7 +39,13 @@ from repro.models.transformer import PackedBatch, TinyLoRATransformer
 from repro.runtime.optimizer import AdamWConfig, AdapterOptimizer
 from repro.scheduler.types import Microbatch, Schedule
 
-__all__ = ["NumericJob", "TrainResult", "CompletedStep", "MultiLoRAEngine"]
+__all__ = [
+    "NumericJob",
+    "TrainResult",
+    "CompletedStep",
+    "JobState",
+    "MultiLoRAEngine",
+]
 
 
 @dataclass
@@ -110,6 +116,86 @@ class CompletedStep:
     adapter_id: int
     global_batch: int
     loss: float
+
+
+@dataclass
+class JobState:
+    """Portable mid-training state of one job, at a step boundary.
+
+    This is what moves when a job migrates between engines (multi-replica
+    rebalancing) or is checkpointed to disk: the adapter parameters, the
+    AdamW moments, and the training progress counters.  The token streams
+    themselves are *not* part of the state -- the receiving side supplies
+    the same :class:`NumericJob` -- so the state stays rank-sized.
+
+    Attributes:
+        adapter_id: The job the state belongs to.
+        steps_done: Optimizer steps already applied.
+        losses: Per-global-batch losses recorded so far.
+        weights: ``(a, b)`` adapter tensors per parameter key.
+        optimizer: :meth:`AdapterOptimizer.state_dict` snapshot.
+    """
+
+    adapter_id: int
+    steps_done: int
+    losses: list[float]
+    weights: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]
+    optimizer: dict
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint files, cross-host moves)."""
+        def key_str(key: tuple[int, str]) -> str:
+            return f"{key[0]}:{key[1]}"
+
+        return {
+            "adapter_id": self.adapter_id,
+            "steps_done": self.steps_done,
+            "losses": list(self.losses),
+            "dtype": str(next(iter(self.weights.values()))[0].dtype),
+            "weights": {
+                key_str(key): {"a": a.tolist(), "b": b.tolist()}
+                for key, (a, b) in self.weights.items()
+            },
+            "optimizer": {
+                "step_count": self.optimizer["step_count"],
+                "moments": {
+                    f"{key_str(pkey)}:{which}": {"m": m.tolist(), "v": v.tolist()}
+                    for (pkey, which), (m, v) in self.optimizer["moments"].items()
+                },
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobState":
+        """Rebuild a state dumped by :meth:`to_dict`."""
+        def key_tuple(text: str) -> tuple[int, str]:
+            layer, name = text.split(":", 1)
+            return (int(layer), name)
+
+        dtype = payload["dtype"]
+        moments = {}
+        for text, pair in payload["optimizer"]["moments"].items():
+            head, which = text.rsplit(":", 1)  # "layer:name:which"
+            moments[(key_tuple(head), which)] = (
+                np.array(pair["m"], dtype=dtype),
+                np.array(pair["v"], dtype=dtype),
+            )
+        return cls(
+            adapter_id=payload["adapter_id"],
+            steps_done=payload["steps_done"],
+            losses=list(payload["losses"]),
+            weights={
+                key_tuple(text): (
+                    np.array(pair["a"], dtype=dtype),
+                    np.array(pair["b"], dtype=dtype),
+                )
+                for text, pair in payload["weights"].items()
+            },
+            optimizer={
+                "step_count": payload["optimizer"]["step_count"],
+                "moments": moments,
+            },
+        )
 
 
 class MultiLoRAEngine:
@@ -210,6 +296,129 @@ class MultiLoRAEngine:
         for store in (self._loss_sums, self._sample_losses, self._sample_grads):
             for key in [k for k in store if k[0] == adapter_id]:
                 del store[key]
+
+    def export_job_state(self, adapter_id: int) -> JobState:
+        """Snapshot a live job's mid-training state at a step boundary.
+
+        The snapshot (adapter weights, AdamW moments, progress counters)
+        is a deep copy: the engine may keep training afterwards without
+        perturbing it.  Together with :meth:`import_job_state` this is the
+        migration/checkpoint primitive -- a job exported here and imported
+        into another engine whose model shares the same frozen base
+        weights continues training bit-identically.
+
+        Args:
+            adapter_id: A currently-live job.
+
+        Returns:
+            The job's portable :class:`JobState`.
+
+        Raises:
+            ScheduleError: For unknown jobs, or when the job has a
+                partially-accumulated global batch in flight (export is
+                only defined at optimizer-step boundaries).
+        """
+        if adapter_id not in self.jobs:
+            raise ScheduleError(f"unknown job {adapter_id}")
+        pending = [
+            key
+            for store in (self._loss_sums, self._sample_grads,
+                          self._sample_losses)
+            for key in store
+            if key[0] == adapter_id
+        ]
+        if pending:
+            raise ScheduleError(
+                f"job {adapter_id} has a partially-accumulated global "
+                "batch; export state only at optimizer-step boundaries"
+            )
+        params = self.model.adapter_state(adapter_id)
+        return JobState(
+            adapter_id=adapter_id,
+            steps_done=self._steps_done[adapter_id],
+            losses=list(self._losses[adapter_id]),
+            weights={
+                key: (w.a.copy(), w.b.copy()) for key, w in params.items()
+            },
+            optimizer=self.optimizers[adapter_id].state_dict(),
+        )
+
+    def import_job_state(self, job: NumericJob, state: JobState) -> None:
+        """Resume a job from a :meth:`export_job_state` snapshot.
+
+        The adapter is (re)created on the model with the snapshot's
+        weights, the optimizer is rebuilt with the snapshot's moments, and
+        batch bookkeeping starts at ``state.steps_done`` -- only the
+        not-yet-trained global batches remain.  Unlike :meth:`add_job`,
+        re-importing an id this engine has seen before is allowed: restore
+        is explicit, so overwriting is intended (the migration path A ->
+        B -> A and restarts from a checkpoint both need it).
+
+        Args:
+            job: The job definition (token streams, batch size) -- must be
+                the same job the state was exported from.
+            state: The snapshot to resume from.
+
+        Raises:
+            ScheduleError: When the job is still live here, the snapshot
+                belongs to another adapter, the adapter exists with a
+                different LoRA config, the snapshot's parameter layout
+                does not match, or the snapshot claims more steps than the
+                job has batches.
+        """
+        aid = job.adapter_id
+        if aid in self.jobs:
+            raise ScheduleError(
+                f"job {aid} is still live on this engine; remove it before "
+                "importing a snapshot"
+            )
+        if state.adapter_id != aid:
+            raise ScheduleError(
+                f"snapshot belongs to adapter {state.adapter_id}, "
+                f"job is adapter {aid}"
+            )
+        if state.steps_done > job.num_global_batches():
+            raise ScheduleError(
+                f"snapshot has {state.steps_done} steps but the job only "
+                f"has {job.num_global_batches()} global batches"
+            )
+        if aid not in self.model.adapters:
+            self.model.add_adapter(job.lora)
+        else:
+            existing = next(
+                iter(self.model.adapter_state(aid).values())
+            ).config
+            if existing != job.lora:
+                raise ScheduleError(
+                    f"adapter {aid} already exists on the model with "
+                    f"config {existing}; snapshot import needs a matching "
+                    "config"
+                )
+        params = self.model.adapter_state(aid)
+        if set(params) != set(state.weights):
+            raise ScheduleError(
+                "snapshot parameter layout does not match the model "
+                "(different depth or projection set)"
+            )
+        for key, weights in params.items():
+            a, b = state.weights[key]
+            if a.shape != weights.a.shape or b.shape != weights.b.shape:
+                raise ScheduleError(
+                    f"snapshot shape mismatch at {key} (different rank?)"
+                )
+            weights.a = a.copy()
+            weights.b = b.copy()
+        self.jobs[aid] = job
+        optimizer = AdapterOptimizer(params, self.optimizer_config)
+        optimizer.load_state_dict(state.optimizer)
+        self.optimizers[aid] = optimizer
+        self._accumulators[aid] = self._zero_grads(aid)
+        for key in [k for k in self._remaining if k[0] == aid]:
+            del self._remaining[key]
+        for b in range(state.steps_done, job.num_global_batches()):
+            self._remaining[(aid, b)] = len(job.batch_indices(b))
+        self._steps_done[aid] = state.steps_done
+        self._losses[aid] = list(state.losses)
 
     def steps_done(self, adapter_id: int) -> int:
         """Optimizer steps taken so far for ``adapter_id``."""

@@ -56,6 +56,47 @@ class AdapterOptimizer:
                     m=np.zeros_like(tensor), v=np.zeros_like(tensor)
                 )
 
+    def state_dict(self) -> dict:
+        """Snapshot the optimizer state (moments plus step count).
+
+        Returns:
+            A mapping with ``step_count`` and per-parameter ``moments``
+            keyed by ``(param_key, "a"|"b")``; arrays are copies, so the
+            snapshot is immune to further training.
+        """
+        return {
+            "step_count": self.step_count,
+            "moments": {
+                key: (pair.m.copy(), pair.v.copy())
+                for key, pair in self._state.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Args:
+            state: The snapshot; its moment keys and shapes must match
+                this optimizer's parameters exactly.
+
+        Raises:
+            KeyError: When the snapshot's parameter keys disagree with
+                this optimizer's (different adapter layout or rank).
+        """
+        moments = state["moments"]
+        if set(moments) != set(self._state):
+            raise KeyError(
+                "optimizer snapshot parameter keys do not match this "
+                "adapter's parameters"
+            )
+        self.step_count = int(state["step_count"])
+        for key, (m, v) in moments.items():
+            pair = self._state[key]
+            if m.shape != pair.m.shape or v.shape != pair.v.shape:
+                raise KeyError(f"optimizer snapshot shape mismatch at {key}")
+            pair.m = m.copy()
+            pair.v = v.copy()
+
     def step(self, grads: dict[tuple[int, str], dict[str, np.ndarray]]) -> None:
         """Apply one AdamW update from accumulated gradients."""
         cfg = self.config

@@ -98,6 +98,10 @@ class Microbatch:
             schedules are one wave (0); the online orchestrator stamps
             each window's wave so spliced streams stay traceable back to
             the plan that produced every microbatch.
+        replica: Pipeline replica that executed this microbatch.  Zero for
+            single-pipeline runs; a :class:`~repro.serve.replicaset.ReplicaSet`
+            stamps each replica's stream so merged traces stay attributable
+            to the pipeline that ran every slot.
     """
 
     assignments: list[Assignment] = field(default_factory=list)
@@ -106,6 +110,7 @@ class Microbatch:
     group: int = 0
     step: int = 0
     plan_id: int = 0
+    replica: int = 0
 
     @property
     def is_noop(self) -> bool:
@@ -229,6 +234,7 @@ class Schedule:
                     "group": mb.group,
                     "step": mb.step,
                     "plan_id": mb.plan_id,
+                    "replica": mb.replica,
                     "assignments": [
                         {
                             "adapter_id": a.adapter_id,
@@ -266,6 +272,7 @@ class Schedule:
                     group=entry["group"],
                     step=entry["step"],
                     plan_id=entry.get("plan_id", 0),
+                    replica=entry.get("replica", 0),
                 )
             )
         return cls(

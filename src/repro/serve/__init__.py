@@ -5,6 +5,16 @@ system: jobs arrive over virtual time, are admitted against an
 adapter-slot budget, scheduled window by window, spliced into the
 in-flight microbatch stream, and retired on completion -- with the same
 losslessness guarantee the offline path has.
+
+Two deployment shapes ship.  A single pipeline is an
+:class:`OnlineOrchestrator` over one :class:`Executor`.  Scale-out is a
+:class:`ReplicaSet`: N independent orchestrators, a :class:`TenantRouter`
+assigning each arriving :class:`ServeJob` to one of them (round-robin,
+least-loaded, or packing-affinity), and threshold-triggered job migration
+that moves mid-training state between replicas losslessly.
+
+See ``docs/architecture.md`` for the module map and ``docs/serving.md``
+for the operator-facing guide.
 """
 
 from repro.serve.admission import AdmissionPolicy, MemoryAdmission, SlotAdmission
@@ -15,23 +25,46 @@ from repro.serve.executors import (
     StreamingSimExecutor,
 )
 from repro.serve.jobs import ServeJob, poisson_workload
-from repro.serve.metrics import JobRecord, OrchestratorResult
-from repro.serve.orchestrator import OnlineOrchestrator, OrchestratorConfig
+from repro.serve.metrics import JobRecord, OrchestratorResult, ReplicaSetResult
+from repro.serve.orchestrator import (
+    MigrationTicket,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+)
+from repro.serve.replicaset import ReplicaSet, ReplicaSetConfig
+from repro.serve.router import (
+    LeastLoadedRouting,
+    PackingAffinityRouting,
+    ReplicaView,
+    RoundRobinRouting,
+    RoutingPolicy,
+    TenantRouter,
+)
 from repro.serve.splice import StreamSplicer
 
 __all__ = [
     "AdmissionPolicy",
     "Executor",
     "JobRecord",
+    "LeastLoadedRouting",
     "MemoryAdmission",
+    "MigrationTicket",
     "NumericExecutor",
     "OnlineOrchestrator",
     "OrchestratorConfig",
     "OrchestratorResult",
+    "PackingAffinityRouting",
+    "ReplicaSet",
+    "ReplicaSetConfig",
+    "ReplicaSetResult",
+    "ReplicaView",
+    "RoundRobinRouting",
+    "RoutingPolicy",
     "ServeJob",
     "SlotAdmission",
     "StepEvent",
     "StreamSplicer",
     "StreamingSimExecutor",
+    "TenantRouter",
     "poisson_workload",
 ]

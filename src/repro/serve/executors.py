@@ -73,6 +73,19 @@ class Executor(Protocol):
     def remove_job(self, adapter_id: int) -> None:
         """Retire a completed job's executor-side state."""
 
+    def export_job(self, adapter_id: int) -> object:
+        """Snapshot a live job's executor-side state for migration.
+
+        The payload is opaque to the orchestrator: it is whatever the
+        matching :meth:`import_job` on another executor of the same kind
+        needs to continue the job (numeric training state for the engine,
+        batch bookkeeping for the simulator).  Export does not retire the
+        job; callers pair it with :meth:`remove_job`.
+        """
+
+    def import_job(self, job: ServeJob, payload: object) -> None:
+        """Resume a migrated job from an :meth:`export_job` payload."""
+
     def submit(self, microbatch: Microbatch) -> list[StepEvent]:
         """Execute one microbatch; return optimizer steps it completed."""
 
@@ -116,6 +129,19 @@ class NumericExecutor:
 
     def remove_job(self, adapter_id: int) -> None:
         self.engine.remove_job(adapter_id)
+
+    def export_job(self, adapter_id: int) -> object:
+        """Snapshot the engine's training state (weights, moments, progress)."""
+        return self.engine.export_job_state(adapter_id)
+
+    def import_job(self, job: ServeJob, payload: object) -> None:
+        """Resume a migrated job on this executor's engine."""
+        if job.numeric is None:
+            raise ScheduleError(
+                f"job {job.adapter_id} has no numeric payload; "
+                "NumericExecutor requires ServeJob.numeric"
+            )
+        self.engine.import_job_state(job.numeric, payload)
 
     def submit(self, microbatch: Microbatch) -> list[StepEvent]:
         completed = self.engine.submit(microbatch)
@@ -199,6 +225,26 @@ class StreamingSimExecutor:
             del self._remaining[key]
         for key in [k for k in self._last_of_batch if k[0] == adapter_id]:
             del self._last_of_batch[key]
+
+    def export_job(self, adapter_id: int) -> object:
+        """Snapshot the job's not-yet-stepped global-batch counters."""
+        if not any(key[0] == adapter_id for key in self._remaining):
+            raise SimulationError(f"job {adapter_id} is not registered")
+        return {
+            "remaining": {
+                key[1]: count
+                for key, count in self._remaining.items()
+                if key[0] == adapter_id
+            }
+        }
+
+    def import_job(self, job: ServeJob, payload: object) -> None:
+        """Register a migrated job's remaining batches on this simulator."""
+        aid = job.adapter_id
+        if any(key[0] == aid for key in self._remaining):
+            raise SimulationError(f"job {aid} already registered")
+        for batch, count in payload["remaining"].items():
+            self._remaining[(aid, batch)] = count
 
     def submit(self, microbatch: Microbatch) -> list[StepEvent]:
         s_count = self.num_stages

@@ -67,7 +67,18 @@ def poisson_workload(
     rate: float,
     rng: np.random.Generator | int = 0,
 ) -> list[ServeJob]:
-    """Wrap offline jobs into a Poisson-arriving online workload."""
+    """Wrap offline jobs into a Poisson-arriving online workload.
+
+    Args:
+        jobs: Offline scheduling jobs (whole-horizon, ``batch_offset`` 0),
+            one per tenant.
+        rate: Mean arrivals per unit of virtual time.
+        rng: Generator or seed for the exponential inter-arrival draws.
+
+    Returns:
+        One :class:`ServeJob` per input job, arrival-stamped in input
+        order (no numeric payloads -- simulation workloads only).
+    """
     times = poisson_times(len(jobs), rate, rng)
     return [
         ServeJob(job=job, arrival_time=time) for job, time in zip(jobs, times)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["JobRecord", "OrchestratorResult"]
+from repro.errors import ScheduleError
+
+__all__ = ["JobRecord", "OrchestratorResult", "ReplicaSetResult"]
 
 
 @dataclass
@@ -28,6 +30,10 @@ class JobRecord:
         finish_time: When its last optimizer step completed.
         num_batches: Optimizer steps the job takes.
         total_tokens: Real (unpadded) tokens across its dataset.
+        replica: Replica currently (or finally) serving the job, when a
+            :class:`~repro.serve.replicaset.ReplicaSet` routed it
+            (``None`` on a single pipeline).
+        migrations: Times the job moved between replicas mid-training.
     """
 
     adapter_id: int
@@ -37,6 +43,8 @@ class JobRecord:
     finish_time: float | None = None
     num_batches: int = 0
     total_tokens: int = 0
+    replica: int | None = None
+    migrations: int = 0
 
     @property
     def queueing_delay(self) -> float | None:
@@ -53,8 +61,38 @@ class JobRecord:
         return self.finish_time - self.arrival_time
 
 
+class _LatencyAggregates:
+    """Latency/throughput views over a ``records`` dict (shared by the
+    single-pipeline and fleet results, so the definitions cannot
+    diverge)."""
+
+    records: dict[int, JobRecord]
+
+    def mean_completion_time(self) -> float:
+        """Mean JCT across finished jobs."""
+        times = [
+            r.completion_time
+            for r in self.records.values()
+            if r.completion_time is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    def mean_queueing_delay(self) -> float:
+        """Mean slot-wait across admitted jobs."""
+        delays = [
+            r.queueing_delay
+            for r in self.records.values()
+            if r.queueing_delay is not None
+        ]
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def tokens_per_time(self) -> float:
+        """Trained real tokens per unit of virtual time."""
+        return self.total_tokens / self.makespan if self.makespan else 0.0
+
+
 @dataclass
-class OrchestratorResult:
+class OrchestratorResult(_LatencyAggregates):
     """Outcome of one online serving run.
 
     Attributes:
@@ -85,24 +123,79 @@ class OrchestratorResult:
     violations: int = 0
     stats: dict[str, float] = field(default_factory=dict)
 
-    def mean_completion_time(self) -> float:
-        """Mean JCT across finished jobs."""
-        times = [
-            r.completion_time
-            for r in self.records.values()
-            if r.completion_time is not None
-        ]
-        return sum(times) / len(times) if times else 0.0
 
-    def mean_queueing_delay(self) -> float:
-        """Mean slot-wait across admitted jobs."""
-        delays = [
-            r.queueing_delay
-            for r in self.records.values()
-            if r.queueing_delay is not None
-        ]
-        return sum(delays) / len(delays) if delays else 0.0
+@dataclass
+class ReplicaSetResult(_LatencyAggregates):
+    """Outcome of one multi-replica serving run.
 
-    def tokens_per_time(self) -> float:
-        """Trained real tokens per unit of virtual time."""
-        return self.total_tokens / self.makespan if self.makespan else 0.0
+    Per-replica :class:`OrchestratorResult` objects stay available for
+    drill-down; the aggregate views below are defined so they equal the
+    corresponding per-replica sums (tokens, microbatches) or duration- /
+    count-weighted means (utilization, latency) -- the identities
+    ``tests/serve/test_replicaset.py`` asserts.
+
+    Attributes:
+        replicas: Per-replica results, in replica-index order.  A job
+            appears in exactly one replica's records: the one serving it
+            when it finished (migrations move the record).
+        records: All jobs' lifecycle records merged across replicas.
+        migrations: Active jobs moved between replicas (state transfers).
+        reroutes: Pending jobs moved between replicas (queue moves only).
+    """
+
+    replicas: list[OrchestratorResult] = field(default_factory=list)
+    records: dict[int, JobRecord] = field(default_factory=dict)
+    migrations: int = 0
+    reroutes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ScheduleError("a replica-set result needs >= 1 replica")
+
+    @property
+    def num_replicas(self) -> int:
+        """Pipeline replicas that served the run."""
+        return len(self.replicas)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time until the last replica finished its last work."""
+        return max(r.makespan for r in self.replicas)
+
+    @property
+    def total_tokens(self) -> int:
+        """Real tokens trained, summed over replicas."""
+        return sum(r.total_tokens for r in self.replicas)
+
+    @property
+    def total_microbatches(self) -> int:
+        """Microbatch slots submitted across replicas (incl. no-ops)."""
+        return sum(r.total_microbatches for r in self.replicas)
+
+    @property
+    def noop_microbatches(self) -> int:
+        """No-op slots across replicas."""
+        return sum(r.noop_microbatches for r in self.replicas)
+
+    @property
+    def violations(self) -> int:
+        """Bubble-lemma violations across all replica streams (0 = correct)."""
+        return sum(r.violations for r in self.replicas)
+
+    def utilization(self) -> float:
+        """Busy fraction of the fleet, weighted by each replica's makespan.
+
+        A replica that ran twice as long contributes twice the weight, so
+        this equals ``sum(util_i * makespan_i) / sum(makespan_i)`` -- the
+        fleet-wide busy share, not a naive mean over replicas.
+        """
+        weighted = sum(r.utilization * r.makespan for r in self.replicas)
+        total = sum(r.makespan for r in self.replicas)
+        return weighted / total if total else 0.0
+
+    def jobs_per_time(self) -> float:
+        """Finished jobs per unit of virtual time (job throughput)."""
+        finished = sum(
+            1 for r in self.records.values() if r.finish_time is not None
+        )
+        return finished / self.makespan if self.makespan else 0.0

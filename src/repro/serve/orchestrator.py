@@ -31,6 +31,7 @@ under churn trains exactly as it would alone.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.data.dataset import FinetuneDataset, Sample
@@ -44,7 +45,7 @@ from repro.serve.jobs import ServeJob
 from repro.serve.metrics import JobRecord, OrchestratorResult
 from repro.serve.splice import StreamSplicer
 
-__all__ = ["OrchestratorConfig", "OnlineOrchestrator"]
+__all__ = ["OrchestratorConfig", "MigrationTicket", "OnlineOrchestrator"]
 
 #: Window scheduler stats accumulated across waves into the result stats.
 _ACCUMULATED_STATS = ("merges", "noops_inserted", "milp_selected", "packing_tasks")
@@ -95,18 +96,63 @@ class _ActiveJob:
         return self.steps_completed >= self.num_batches
 
 
+@dataclass(frozen=True)
+class MigrationTicket:
+    """A job in transit between two orchestrators (pipeline replicas).
+
+    Produced by :meth:`OnlineOrchestrator.eject_job` and consumed by
+    :meth:`OnlineOrchestrator.inject_job`.  A still-pending job travels
+    without executor state (``payload is None``); an admitted job carries
+    the opaque :meth:`~repro.serve.executors.Executor.export_job` payload
+    that lets the destination executor continue it losslessly.
+
+    Attributes:
+        job: The serve job being moved (full dataset view).
+        record: The job's lifecycle record, moved along with it.
+        completed: Optimizer steps already taken when ejected.
+        payload: Executor state snapshot (``None`` for pending jobs).
+    """
+
+    job: ServeJob
+    record: JobRecord
+    completed: int
+    payload: object | None = None
+
+    @property
+    def adapter_id(self) -> int:
+        """The migrating job's adapter identity."""
+        return self.job.adapter_id
+
+
 class OnlineOrchestrator:
     """Serves a stream of fine-tuning jobs on one executor.
+
+    The orchestrator can be driven two ways: :meth:`run` serves a whole
+    workload to completion (the single-pipeline path), or a coordinator
+    such as :class:`~repro.serve.replicaset.ReplicaSet` calls
+    :meth:`start` once and then interleaves :meth:`offer` (routed
+    arrivals), :meth:`step` (one serving-loop iteration), and
+    :meth:`eject_job`/:meth:`inject_job` (migration), finishing with
+    :meth:`finish`.
 
     Args:
         executor: Execution backend (numeric engine or pipeline
             simulator).
         config: Orchestrator tunables.
+        replica_id: Identity stamped onto every executed microbatch
+            (:attr:`~repro.scheduler.types.Microbatch.replica`) so merged
+            multi-replica traces stay attributable.
     """
 
-    def __init__(self, executor: Executor, config: OrchestratorConfig) -> None:
+    def __init__(
+        self,
+        executor: Executor,
+        config: OrchestratorConfig,
+        replica_id: int = 0,
+    ) -> None:
         self.executor = executor
         self.config = config
+        self.replica_id = replica_id
         self.stream: list[Microbatch] = []
         self._splicer = StreamSplicer(config.scheduler.num_stages)
         self._pending: list[ServeJob] = []
@@ -118,7 +164,7 @@ class OnlineOrchestrator:
             config.admission.max_concurrent()
             if config.admission is not None else None
         )
-        self._ran = False
+        self._started = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -203,6 +249,8 @@ class OnlineOrchestrator:
         for key in _ACCUMULATED_STATS:
             self._stats[key] += window.stats.get(key, 0.0)
         spliced = self._splicer.splice(window.microbatches, plan_id=self._replans)
+        for mb in spliced:
+            mb.replica = self.replica_id
         self._replans += 1
         return spliced
 
@@ -218,8 +266,115 @@ class OnlineOrchestrator:
 
     # -- the serving loop ---------------------------------------------------
 
+    def start(self, workload: list[ServeJob] | None = None) -> None:
+        """Open the serving session and enqueue an initial workload.
+
+        A session is single-shot (stream and metric state are per-run);
+        construct a fresh orchestrator to serve again.
+
+        Args:
+            workload: Jobs with distinct adapter ids, any arrival order.
+                May be empty when a coordinator routes arrivals in later
+                via :meth:`offer`.
+
+        Raises:
+            ScheduleError: On double-start or duplicate adapter ids.
+        """
+        if self._started:
+            raise ScheduleError(
+                "OnlineOrchestrator is single-shot (stream and metric "
+                "state are per-run); construct a fresh orchestrator"
+            )
+        self._started = True
+        workload = list(workload or [])
+        ids = [job.adapter_id for job in workload]
+        if len(set(ids)) != len(ids):
+            raise ScheduleError(f"duplicate adapter ids in workload: {ids}")
+        for job in workload:
+            self.offer(job)
+
+    def offer(self, job: ServeJob, record: JobRecord | None = None) -> JobRecord:
+        """Enqueue one arriving job (a coordinator's routed arrival).
+
+        Args:
+            job: The arriving job; its adapter id must be new here.
+            record: Lifecycle record to adopt (a rerouted job keeps its
+                original arrival timestamp); a fresh one is created when
+                omitted.
+
+        Returns:
+            The job's lifecycle record (created or adopted).
+
+        Raises:
+            ScheduleError: Before :meth:`start`, or on a duplicate id.
+        """
+        if not self._started:
+            raise ScheduleError("offer() requires start() first")
+        if job.adapter_id in self._records:
+            raise ScheduleError(
+                f"adapter id {job.adapter_id} already known to this "
+                "orchestrator"
+            )
+        if record is None:
+            record = JobRecord(
+                adapter_id=job.adapter_id,
+                arrival_time=job.arrival_time,
+                num_batches=job.job.num_global_batches(),
+                total_tokens=job.job.dataset.total_tokens(),
+            )
+        self._records[job.adapter_id] = record
+        insort(self._pending, job,
+               key=lambda item: (item.arrival_time, item.adapter_id))
+        return record
+
+    def has_work(self) -> bool:
+        """Whether any job is still pending or actively training."""
+        return bool(self._pending or self._active)
+
+    def step(self) -> bool:
+        """Advance the serving loop by one iteration.
+
+        One iteration admits due arrivals and then either plans+executes
+        one scheduling wave, or (with nothing left to plan) drains the
+        pipeline and fast-forwards the clock to the next arrival.
+
+        Returns:
+            ``True`` while work remains, ``False`` once the session is
+            idle (pending and active sets both empty).
+
+        Raises:
+            ScheduleError: If the loop cannot make progress (an executor
+                dropped step events).
+        """
+        if not self.has_work():
+            return False
+        progressed = self._admit_ready() > 0
+        if any(not s.fully_scheduled for s in self._active.values()):
+            self._execute(self._plan_wave())
+            return True
+        # Nothing left to plan: flush in-flight work, then either the
+        # freed slots admit waiting jobs or the clock jumps to the
+        # next arrival.
+        progressed |= self._handle_events(self.executor.drain()) > 0
+        if not self._active and self._pending:
+            next_arrival = self._pending[0].arrival_time
+            if next_arrival > self.executor.clock:
+                self.executor.advance(next_arrival)
+                progressed = True
+        if not progressed and self._active:
+            raise ScheduleError(
+                "orchestrator stalled: active jobs are fully scheduled "
+                "but never completed (executor dropped step events?)"
+            )
+        return True
+
+    def finish(self) -> OrchestratorResult:
+        """Drain in-flight work and report the session's result."""
+        self._handle_events(self.executor.drain())
+        return self._result()
+
     def run(self, workload: list[ServeJob]) -> OrchestratorResult:
-        """Serve ``workload`` to completion.
+        """Serve ``workload`` to completion (the single-pipeline path).
 
         Args:
             workload: Jobs with distinct adapter ids, any arrival order.
@@ -227,52 +382,168 @@ class OnlineOrchestrator:
         Returns:
             Per-job latency records plus stream-level statistics.
         """
-        if self._ran:
-            raise ScheduleError(
-                "OnlineOrchestrator.run is single-shot (stream and metric "
-                "state are per-run); construct a fresh orchestrator"
-            )
-        self._ran = True
-        ids = [job.adapter_id for job in workload]
-        if len(set(ids)) != len(ids):
-            raise ScheduleError(f"duplicate adapter ids in workload: {ids}")
-        self._pending = sorted(workload, key=lambda job: (job.arrival_time,
-                                                          job.adapter_id))
-        self._records = {
-            job.adapter_id: JobRecord(
-                adapter_id=job.adapter_id,
-                arrival_time=job.arrival_time,
-                num_batches=job.job.num_global_batches(),
-                total_tokens=job.job.dataset.total_tokens(),
-            )
-            for job in workload
-        }
+        self.start(workload)
+        while self.step():
+            pass
+        return self.finish()
 
-        while self._pending or self._active:
-            progressed = self._admit_ready() > 0
-            schedulable = [
-                state for state in self._active.values()
-                if not state.fully_scheduled
-            ]
-            if schedulable:
-                self._execute(self._plan_wave())
-                continue
-            # Nothing left to plan: flush in-flight work, then either the
-            # freed slots admit waiting jobs or the clock jumps to the
-            # next arrival.
-            progressed |= self._handle_events(self.executor.drain()) > 0
-            if not self._active and self._pending:
-                next_arrival = self._pending[0].arrival_time
-                if next_arrival > self.executor.clock:
-                    self.executor.advance(next_arrival)
-                    progressed = True
-            if not progressed and self._active:
+    # -- migration ----------------------------------------------------------
+
+    def eject_job(self, adapter_id: int) -> MigrationTicket:
+        """Hand a job off for migration to another replica.
+
+        Pending jobs travel freely; admitted jobs are snapshotted via the
+        executor's ``export_job`` and must sit at an optimizer-step
+        boundary (every scheduled batch stepped), which is exactly the
+        state between two :meth:`step` calls -- in-flight waves are never
+        broken.
+
+        Args:
+            adapter_id: A pending or active (not finished) job.
+
+        Returns:
+            The ticket to pass to another orchestrator's
+            :meth:`inject_job`.
+
+        Raises:
+            ScheduleError: For unknown jobs or a job mid-wave (scheduled
+                batches not yet stepped).
+        """
+        state = self._active.get(adapter_id)
+        if state is not None:
+            if state.steps_completed != state.next_batch:
                 raise ScheduleError(
-                    "orchestrator stalled: active jobs are fully scheduled "
-                    "but never completed (executor dropped step events?)"
+                    f"job {adapter_id} has scheduled-but-unstepped batches; "
+                    "migrate only between waves"
                 )
-        self._handle_events(self.executor.drain())
-        return self._result()
+            payload = self.executor.export_job(adapter_id)
+            self.executor.remove_job(adapter_id)
+            self._splicer.retire(adapter_id)
+            del self._active[adapter_id]
+            return MigrationTicket(
+                job=state.serve_job,
+                record=self._records.pop(adapter_id),
+                completed=state.steps_completed,
+                payload=payload,
+            )
+        for index, job in enumerate(self._pending):
+            if job.adapter_id == adapter_id:
+                self._pending.pop(index)
+                return MigrationTicket(
+                    job=job,
+                    record=self._records.pop(adapter_id),
+                    completed=0,
+                    payload=None,
+                )
+        raise ScheduleError(f"unknown job {adapter_id}")
+
+    def inject_job(self, ticket: MigrationTicket) -> None:
+        """Accept a migrated job from another replica.
+
+        A pending ticket queues like a fresh arrival (keeping its original
+        record, hence its original arrival time); an admitted ticket is
+        restored onto the executor and resumes as an active job at its
+        next global batch.
+
+        Args:
+            ticket: A ticket from another orchestrator's
+                :meth:`eject_job`.
+
+        Raises:
+            ScheduleError: Before :meth:`start`, on a duplicate id, or
+                when an admitted ticket arrives with no free adapter
+                slot (the admission budget holds across migration too).
+        """
+        if not self._started:
+            raise ScheduleError("inject_job() requires start() first")
+        aid = ticket.adapter_id
+        if aid in self._records:
+            raise ScheduleError(
+                f"adapter id {aid} already known to this orchestrator"
+            )
+        if ticket.payload is None:
+            self.offer(ticket.job, record=ticket.record)
+            return
+        if self.slots_free == 0:
+            raise ScheduleError(
+                f"cannot inject job {aid}: no free adapter slot on this "
+                "replica (admission budget applies to migrations too)"
+            )
+        self._records[aid] = ticket.record
+        self.executor.import_job(ticket.job, ticket.payload)
+        self._active[aid] = _ActiveJob(
+            serve_job=ticket.job,
+            batches=ticket.job.job.dataset.global_batches(
+                ticket.job.job.global_batch_size
+            ),
+            record=ticket.record,
+            next_batch=ticket.completed,
+            steps_completed=ticket.completed,
+        )
+
+    # -- load introspection (router/rebalancer inputs) ----------------------
+
+    @property
+    def clock(self) -> float:
+        """The executor's current virtual time."""
+        return self.executor.clock
+
+    @property
+    def num_active(self) -> int:
+        """Jobs currently holding adapter slots."""
+        return len(self._active)
+
+    @property
+    def num_pending(self) -> int:
+        """Jobs queued for a slot (or not yet due)."""
+        return len(self._pending)
+
+    @property
+    def slots_free(self) -> int | None:
+        """Free adapter slots (``None`` under unbounded admission)."""
+        if self._slot_budget is None:
+            return None
+        return max(0, self._slot_budget - len(self._active))
+
+    def outstanding_batches(self) -> int:
+        """Not-yet-stepped global batches across pending and active jobs.
+
+        This is the load measure routing and rebalancing compare across
+        replicas: the work this pipeline still owes its tenants.
+        """
+        active = sum(
+            state.num_batches - state.steps_completed
+            for state in self._active.values()
+        )
+        pending = sum(job.job.num_global_batches() for job in self._pending)
+        return active + pending
+
+    def live_mean_lengths(self) -> list[float]:
+        """Mean sample length of each active job (packing-affinity input)."""
+        return [
+            state.serve_job.job.mean_length()
+            for state in self._active.values()
+        ]
+
+    def migratable_jobs(self) -> list[tuple[int, int, bool]]:
+        """Jobs a rebalancer may move right now.
+
+        Returns:
+            ``(adapter_id, remaining_batches, is_pending)`` tuples:
+            every pending job, plus every active unfinished job sitting
+            at a wave boundary.
+        """
+        candidates = [
+            (job.adapter_id, job.job.num_global_batches(), True)
+            for job in self._pending
+        ]
+        for aid, state in self._active.items():
+            if state.finished or state.steps_completed != state.next_batch:
+                continue
+            candidates.append(
+                (aid, state.num_batches - state.steps_completed, False)
+            )
+        return candidates
 
     # -- reporting ----------------------------------------------------------
 

@@ -1,0 +1,240 @@
+"""Multi-replica serving: N pipelines, one tenant stream.
+
+One :class:`~repro.serve.orchestrator.OnlineOrchestrator` drives one
+pipeline.  The :class:`ReplicaSet` scales that out: it owns several
+independent orchestrators (one per pipeline replica, each with its own
+executor), routes every arriving tenant to exactly one of them through a
+pluggable :class:`~repro.serve.router.RoutingPolicy`, and -- when the
+load skew between replicas exceeds a threshold -- *migrates* jobs
+between pipelines.
+
+Virtual time across replicas is coordinated event-style: the set always
+advances the busiest-behind replica (smallest clock among those with
+work) until every working replica has reached the next arrival's
+timestamp, then routes that arrival against fresh load views.  Routing
+decisions therefore see each replica's state as of (approximately) the
+arrival instant, which is what makes least-loaded and packing-affinity
+policies meaningful.
+
+Migration is lossless.  A pending job moves as a queue entry (a
+*reroute*); an admitted job moves between waves as a
+:class:`~repro.serve.orchestrator.MigrationTicket` carrying the
+executor's exported state -- for numeric executors, the adapter weights,
+AdamW moments, and progress counters from
+:meth:`~repro.runtime.engine.MultiLoRAEngine.export_job_state`.  Because
+export happens only at optimizer-step boundaries and the destination
+model shares the same frozen base weights, a migrated job's final
+adapter is bit-identical to an unmigrated run
+(``tests/integration/test_migration_losslessness.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.serve.executors import Executor
+from repro.serve.jobs import ServeJob
+from repro.serve.metrics import JobRecord, ReplicaSetResult
+from repro.serve.orchestrator import OnlineOrchestrator, OrchestratorConfig
+from repro.serve.router import (
+    LeastLoadedRouting,
+    ReplicaView,
+    RoutingPolicy,
+    TenantRouter,
+)
+
+__all__ = ["ReplicaSetConfig", "ReplicaSet"]
+
+
+@dataclass
+class ReplicaSetConfig:
+    """Tunables of the multi-replica serving layer.
+
+    Attributes:
+        orchestrator: Per-replica orchestrator configuration (every
+            replica runs the same scheduler/window/admission settings).
+        routing: Tenant placement policy;
+            :class:`~repro.serve.router.LeastLoadedRouting` when omitted.
+        migration_threshold: Maximum tolerated outstanding-batch skew
+            between the most and least loaded replicas before the set
+            migrates jobs to rebalance; ``None`` disables migration.
+    """
+
+    orchestrator: OrchestratorConfig
+    routing: RoutingPolicy | None = None
+    migration_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.migration_threshold is not None and self.migration_threshold < 0:
+            raise ScheduleError("migration_threshold must be non-negative")
+
+
+class ReplicaSet:
+    """Serves one tenant stream across several pipeline replicas.
+
+    Args:
+        executors: One execution backend per replica.  For numeric
+            serving the engines must share identical frozen base weights
+            (build each model from the same seed), or migration would not
+            be lossless.
+        config: Replica-set tunables.
+    """
+
+    def __init__(
+        self, executors: list[Executor], config: ReplicaSetConfig
+    ) -> None:
+        if not executors:
+            raise ScheduleError("a replica set needs at least one executor")
+        self.config = config
+        self.replicas = [
+            OnlineOrchestrator(executor, config.orchestrator, replica_id=index)
+            for index, executor in enumerate(executors)
+        ]
+        self.router = TenantRouter(config.routing or LeastLoadedRouting())
+        self._migrations = 0
+        self._reroutes = 0
+        self._ran = False
+
+    @property
+    def num_replicas(self) -> int:
+        """Pipeline replicas in the set."""
+        return len(self.replicas)
+
+    def views(self) -> list[ReplicaView]:
+        """Current load snapshot of every replica, in index order."""
+        return [
+            ReplicaView(
+                index=index,
+                clock=replica.clock,
+                outstanding_batches=replica.outstanding_batches(),
+                num_active=replica.num_active,
+                num_pending=replica.num_pending,
+                slots_free=replica.slots_free,
+                live_mean_lengths=tuple(replica.live_mean_lengths()),
+            )
+            for index, replica in enumerate(self.replicas)
+        ]
+
+    # -- the serving loop ---------------------------------------------------
+
+    def run(self, workload: list[ServeJob]) -> ReplicaSetResult:
+        """Serve ``workload`` to completion across the replica set.
+
+        Args:
+            workload: Jobs with distinct adapter ids, any arrival order.
+
+        Returns:
+            Per-replica results plus fleet-wide records and counters.
+
+        Raises:
+            ScheduleError: On reuse or duplicate adapter ids.
+        """
+        if self._ran:
+            raise ScheduleError(
+                "ReplicaSet.run is single-shot; construct a fresh set"
+            )
+        self._ran = True
+        ids = [job.adapter_id for job in workload]
+        if len(set(ids)) != len(ids):
+            raise ScheduleError(f"duplicate adapter ids in workload: {ids}")
+        for replica in self.replicas:
+            replica.start([])
+        arrivals = deque(
+            sorted(workload, key=lambda job: (job.arrival_time, job.adapter_id))
+        )
+        while arrivals or any(r.has_work() for r in self.replicas):
+            next_arrival = (
+                arrivals[0].arrival_time if arrivals else math.inf
+            )
+            behind = [
+                replica for replica in self.replicas
+                if replica.has_work() and replica.clock < next_arrival
+            ]
+            if behind:
+                # Advance the furthest-behind working replica so every
+                # pipeline reaches the arrival instant before we route.
+                replica = min(behind, key=lambda r: (r.clock, r.replica_id))
+                replica.step()
+            else:
+                job = arrivals.popleft()
+                index = self.router.route(job, self.views())
+                record = self.replicas[index].offer(job)
+                record.replica = index
+            self._rebalance()
+        results = [replica.finish() for replica in self.replicas]
+        records: dict[int, JobRecord] = {}
+        for result in results:
+            records.update(result.records)
+        return ReplicaSetResult(
+            replicas=results,
+            records=records,
+            migrations=self._migrations,
+            reroutes=self._reroutes,
+        )
+
+    # -- rebalancing --------------------------------------------------------
+
+    def _rebalance(self) -> None:
+        """Migrate jobs while load skew exceeds the threshold.
+
+        Each pass moves one job from the most to the least loaded replica
+        when that strictly reduces the skew; the loop terminates because
+        every migration strictly decreases the sum of squared loads.
+        """
+        threshold = self.config.migration_threshold
+        if threshold is None or len(self.replicas) < 2:
+            return
+        while True:
+            loads = [r.outstanding_batches() for r in self.replicas]
+            source = max(range(len(loads)), key=loads.__getitem__)
+            target = min(range(len(loads)), key=loads.__getitem__)
+            skew = loads[source] - loads[target]
+            if skew <= threshold:
+                return
+            adapter_id = self._pick_migration(source, target, skew)
+            if adapter_id is None:
+                return
+            self._migrate(adapter_id, source, target)
+
+    def _pick_migration(
+        self, source: int, target: int, skew: int
+    ) -> int | None:
+        """The job whose move best evens out ``source`` and ``target``.
+
+        Only moves that strictly reduce the skew qualify (``0 < remaining
+        < skew``); among those, the job bringing the pair closest to even
+        wins -- balance is the objective, so a strictly better-balancing
+        active job beats a pending one.  Pending jobs win ties only,
+        because a queue move costs nothing while an active move pays a
+        state transfer.
+        """
+        target_slots = self.replicas[target].slots_free
+        candidates = []
+        for adapter_id, remaining, is_pending in (
+            self.replicas[source].migratable_jobs()
+        ):
+            if not 0 < remaining < skew:
+                continue
+            if not is_pending and target_slots == 0:
+                continue
+            candidates.append(
+                (abs(skew - 2 * remaining), 0 if is_pending else 1, adapter_id)
+            )
+        if not candidates:
+            return None
+        return min(candidates)[2]
+
+    def _migrate(self, adapter_id: int, source: int, target: int) -> None:
+        """Move one job from replica ``source`` to replica ``target``."""
+        ticket = self.replicas[source].eject_job(adapter_id)
+        self.replicas[target].inject_job(ticket)
+        ticket.record.replica = target
+        self.router.reassign(adapter_id, target)
+        if ticket.payload is None:
+            self._reroutes += 1
+        else:
+            ticket.record.migrations += 1
+            self._migrations += 1

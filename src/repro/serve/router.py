@@ -1,0 +1,182 @@
+"""Tenant routing: which pipeline replica serves an arriving job.
+
+With several independent pipeline replicas (each its own
+:class:`~repro.serve.orchestrator.OnlineOrchestrator`), every arriving
+:class:`~repro.serve.jobs.ServeJob` must be assigned to exactly one of
+them.  The assignment shapes both *load balance* (job throughput, JCT)
+and *packing quality*: the per-replica scheduler's head-tail grouping and
+microbatch packing work best over tenants with compatible sample-length
+profiles, so where a tenant lands matters beyond raw load.
+
+Three pluggable policies ship:
+
+* :class:`RoundRobinRouting` -- cycle over replicas; the stateless
+  baseline.
+* :class:`LeastLoadedRouting` -- send each job to the replica owing the
+  fewest outstanding global batches; the latency-oriented default.
+* :class:`PackingAffinityRouting` -- among replicas within a bounded load
+  gap of the least loaded, prefer the one already serving tenants with
+  the most similar mean sample length, so microbatch shapes stay
+  groupable and the merge pass keeps finding head-tail pairs.
+
+The :class:`TenantRouter` wraps a policy, validates its choices, and
+keeps the adapter-to-replica assignment log that migrations update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ScheduleError
+from repro.serve.jobs import ServeJob
+
+__all__ = [
+    "ReplicaView",
+    "RoutingPolicy",
+    "RoundRobinRouting",
+    "LeastLoadedRouting",
+    "PackingAffinityRouting",
+    "TenantRouter",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """A routing-time snapshot of one replica's load.
+
+    Attributes:
+        index: The replica's position in the set.
+        clock: The replica's current virtual time.
+        outstanding_batches: Not-yet-stepped global batches it owes
+            (pending plus active jobs).
+        num_active: Jobs currently holding adapter slots.
+        num_pending: Jobs queued for a slot.
+        slots_free: Free adapter slots (``None`` = unbounded admission).
+        live_mean_lengths: Mean sample length of each active job
+            (packing-affinity input).
+    """
+
+    index: int
+    clock: float
+    outstanding_batches: int
+    num_active: int
+    num_pending: int
+    slots_free: int | None
+    live_mean_lengths: tuple[float, ...] = ()
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Chooses the replica an arriving job is assigned to."""
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the index of the replica that should serve ``job``."""
+
+
+@dataclass
+class RoundRobinRouting:
+    """Cycle over replicas in index order, ignoring load."""
+
+    _next: int = 0
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the next replica in the cycle."""
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LeastLoadedRouting:
+    """Send each job to the replica owing the fewest outstanding batches."""
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the least-loaded replica (lowest index breaks ties)."""
+        best = min(replicas, key=lambda r: (r.outstanding_batches, r.index))
+        return best.index
+
+
+@dataclass(frozen=True)
+class PackingAffinityRouting:
+    """Co-locate jobs with similar microbatch shapes, load permitting.
+
+    Among replicas whose outstanding-batch load is within ``load_slack``
+    of the least loaded, pick the one whose closest live tenant has the
+    most similar mean sample length to the arriving job.  A replica with
+    no live tenants counts as a perfect fit (it starts a fresh group), so
+    under light load this degrades gracefully to spreading.
+
+    Attributes:
+        load_slack: How many extra outstanding global batches a
+            better-fitting replica may carry before load wins.
+    """
+
+    load_slack: int = 4
+
+    def __post_init__(self) -> None:
+        if self.load_slack < 0:
+            raise ScheduleError("load_slack must be non-negative")
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the best shape-affine replica within the load slack."""
+        floor = min(r.outstanding_batches for r in replicas)
+        eligible = [
+            r for r in replicas
+            if r.outstanding_batches <= floor + self.load_slack
+        ]
+        length = job.job.mean_length()
+
+        def distance(view: ReplicaView) -> float:
+            if not view.live_mean_lengths:
+                return 0.0
+            return min(abs(length - other) for other in view.live_mean_lengths)
+
+        best = min(
+            eligible,
+            key=lambda r: (distance(r), r.outstanding_batches, r.index),
+        )
+        return best.index
+
+
+class TenantRouter:
+    """Applies a routing policy and keeps the tenant-to-replica map.
+
+    Args:
+        policy: The placement policy consulted per arrival.
+
+    Attributes:
+        assignments: Current replica index per routed adapter id
+            (updated on migration via :meth:`reassign`).
+    """
+
+    def __init__(self, policy: RoutingPolicy) -> None:
+        self.policy = policy
+        self.assignments: dict[int, int] = {}
+
+    def route(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Assign ``job`` to a replica and record the assignment.
+
+        Args:
+            job: The arriving job.
+            replicas: One view per replica, in index order.
+
+        Returns:
+            The chosen replica index.
+
+        Raises:
+            ScheduleError: With no replicas, or when the policy returns
+                an out-of-range index.
+        """
+        if not replicas:
+            raise ScheduleError("cannot route with zero replicas")
+        index = self.policy.choose(job, replicas)
+        if not 0 <= index < len(replicas):
+            raise ScheduleError(
+                f"routing policy chose replica {index} of {len(replicas)}"
+            )
+        self.assignments[job.adapter_id] = index
+        return index
+
+    def reassign(self, adapter_id: int, replica: int) -> None:
+        """Update the map after a migration moved ``adapter_id``."""
+        self.assignments[adapter_id] = replica

@@ -1,0 +1,24 @@
+"""Intra-repo links in README.md/docs/*.md must resolve (the CI docs job)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+from check_docs_links import broken_links, doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    names = {path.name for path in doc_files()}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "serving.md" in names
+
+
+def test_no_broken_intra_repo_links():
+    problems = {
+        str(path): broken_links(path)
+        for path in doc_files()
+        if broken_links(path)
+    }
+    assert problems == {}

@@ -1,0 +1,166 @@
+"""Migration losslessness: moving a mid-training job between replicas.
+
+The multi-replica acceptance bar: a job that starts training on one
+pipeline replica, is migrated (adapter weights + AdamW moments + progress
+counters) to another replica mid-stream by the rebalancer, and finishes
+there must produce final adapter weights **identical (atol=0)** to
+training the job alone -- and therefore also identical to serving it
+unmigrated, since online serving is already bit-exact
+(``test_online_losslessness.py``).  The replicas' engines share the same
+frozen base weights (same model seed), which is the deployment contract
+``docs/serving.md`` documents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import train_job_sequentially
+from repro.core.lora import LoRAConfig
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.models import TINY, TinyLoRATransformer
+from repro.runtime import MultiLoRAEngine, NumericJob
+from repro.scheduler import AdapterJob, SchedulerConfig, find_violations
+from repro.serve import (
+    NumericExecutor,
+    OrchestratorConfig,
+    ReplicaSet,
+    ReplicaSetConfig,
+    ServeJob,
+    SlotAdmission,
+)
+
+MODEL_SEED = 11
+
+
+class StickyRouting:
+    """Pin every tenant to replica 0 so only the rebalancer spreads load."""
+
+    def choose(self, job, replicas):
+        return 0
+
+
+def make_serve_job(rng, adapter_id, rank, num_samples, gbs, arrival):
+    streams = [
+        rng.integers(0, TINY.vocab_size, int(rng.integers(4, 12)))
+        for _ in range(num_samples)
+    ]
+    numeric = NumericJob(
+        adapter_id=adapter_id,
+        lora=LoRAConfig(rank=rank, alpha=1.0, dropout=0.0,
+                        adapter_id=adapter_id),
+        token_streams=streams,
+        global_batch_size=gbs,
+    )
+    dataset = FinetuneDataset(
+        adapter_id,
+        [Sample(adapter_id, i, len(t)) for i, t in enumerate(streams)],
+    )
+    return ServeJob(
+        job=AdapterJob(adapter_id, dataset, gbs),
+        arrival_time=arrival,
+        numeric=numeric,
+    )
+
+
+def skewed_workload():
+    """One long tenant at t=0, two short tenants shortly after.
+
+    Sticky routing piles all three onto replica 0; once the short jobs
+    arrive the outstanding-batch skew versus the idle replica 1 exceeds
+    the threshold and the long tenant -- mid-training by then -- is the
+    move that best evens the pair, forcing a state-carrying migration.
+    """
+    rng = np.random.default_rng(0)
+    return [
+        make_serve_job(rng, 0, 2, 12, 2, arrival=0.0),   # 6 global batches
+        make_serve_job(rng, 1, 3, 4, 2, arrival=1.0),    # 2 global batches
+        make_serve_job(rng, 2, 2, 4, 2, arrival=1.0),    # 2 global batches
+    ]
+
+
+class TestMigrationLosslessness:
+    @pytest.fixture(scope="class")
+    def served(self):
+        workload = skewed_workload()
+        models = [
+            TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+            for _ in range(2)
+        ]
+        executors = [
+            NumericExecutor(MultiLoRAEngine(model, exact_accumulation=True))
+            for model in models
+        ]
+        config = ReplicaSetConfig(
+            orchestrator=OrchestratorConfig(
+                scheduler=SchedulerConfig(capacity=64, padding_multiple=1,
+                                          num_stages=2, use_milp=False,
+                                          group_size=2),
+                window_batches=1,
+                admission=SlotAdmission(3),
+            ),
+            routing=StickyRouting(),
+            migration_threshold=8,
+        )
+        replica_set = ReplicaSet(executors, config)
+        result = replica_set.run(workload)
+        return workload, models, executors, replica_set, result
+
+    def test_a_migration_actually_happened(self, served):
+        _, _, _, replica_set, result = served
+        assert result.migrations >= 1
+        probe = result.records[0]
+        assert probe.migrations >= 1
+        assert probe.replica == 1
+        assert probe.finish_time is not None
+
+    def test_migrated_job_trained_on_both_replicas(self, served):
+        _, _, _, replica_set, result = served
+        for index, replica in enumerate(replica_set.replicas):
+            batches = {
+                a.global_batch
+                for mb in replica.stream
+                for a in mb.assignments
+                if a.adapter_id == 0
+            }
+            assert batches, f"replica {index} never trained the probe"
+
+    def test_streams_stay_bubble_safe(self, served):
+        _, _, _, replica_set, result = served
+        assert result.violations == 0
+        for replica in replica_set.replicas:
+            assert find_violations(replica.stream, 2) == []
+
+    def test_migrated_job_weights_bit_identical_to_sequential(self, served):
+        workload, models, _, _, result = served
+        probe = workload[0]
+        reference = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+        train_job_sequentially(reference, probe.numeric)
+        final_model = models[result.records[0].replica]
+        online = final_model.adapter_state(0)
+        solo = reference.adapter_state(0)
+        for key in online:
+            assert np.array_equal(online[key].a, solo[key].a)
+            assert np.array_equal(online[key].b, solo[key].b)
+
+    def test_every_tenant_bit_identical_to_sequential(self, served):
+        workload, models, _, _, result = served
+        for job in workload:
+            reference = TinyLoRATransformer(
+                TINY, np.random.default_rng(MODEL_SEED)
+            )
+            train_job_sequentially(reference, job.numeric)
+            final_model = models[result.records[job.adapter_id].replica]
+            online = final_model.adapter_state(job.adapter_id)
+            solo = reference.adapter_state(job.adapter_id)
+            for key in online:
+                assert np.array_equal(online[key].a, solo[key].a)
+                assert np.array_equal(online[key].b, solo[key].b)
+
+    def test_loss_history_travels_with_the_job(self, served):
+        workload, _, executors, _, result = served
+        probe = workload[0]
+        reference = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+        solo = train_job_sequentially(reference, probe.numeric)
+        final_engine = executors[result.records[0].replica].engine
+        assert final_engine.losses(0) == solo.losses[0]
+        assert final_engine.steps_done(0) == probe.numeric.num_global_batches()

@@ -187,3 +187,148 @@ class TestExactAccumulation:
             np.testing.assert_array_equal(
                 params["fwd"][key].b, params["bwd"][key].b
             )
+
+
+class TestJobStateMigration:
+    """export_job_state / import_job_state: the migration primitive."""
+
+    def finish(self, engine, job, start, stop):
+        for batch in range(start, stop):
+            engine.submit(batch_mb(job, batch))
+
+    def adapter_params(self, model, aid=0):
+        return {
+            key: (w.a.copy(), w.b.copy())
+            for key, w in model.adapter_state(aid).items()
+        }
+
+    def test_mid_flight_round_trip_is_bit_identical(self):
+        # Train 3 of 6 batches on engine A, move the job to engine B (a
+        # model with the same frozen base weights), finish there: the
+        # final adapter must match an unmigrated run bit for bit.
+        job = make_job(0, n=12, gbs=2)
+        source_model = TinyLoRATransformer(TINY, np.random.default_rng(5))
+        source = MultiLoRAEngine(source_model, [make_job(0, n=12, gbs=2)])
+        self.finish(source, job, 0, 3)
+        state = source.export_job_state(0)
+        source.remove_job(0)
+
+        target_model = TinyLoRATransformer(TINY, np.random.default_rng(5))
+        target = MultiLoRAEngine(target_model)
+        target.import_job_state(make_job(0, n=12, gbs=2), state)
+        assert target.steps_done(0) == 3
+        self.finish(target, job, 3, 6)
+
+        straight_model = TinyLoRATransformer(TINY, np.random.default_rng(5))
+        straight = MultiLoRAEngine(straight_model, [make_job(0, n=12, gbs=2)])
+        self.finish(straight, job, 0, 6)
+
+        migrated = self.adapter_params(target_model)
+        unmigrated = self.adapter_params(straight_model)
+        for key in unmigrated:
+            np.testing.assert_array_equal(migrated[key][0], unmigrated[key][0])
+            np.testing.assert_array_equal(migrated[key][1], unmigrated[key][1])
+        assert target.losses(0) == straight.losses(0)
+
+    def test_export_is_a_snapshot(self):
+        job = make_job(0, n=4, gbs=2)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        engine.submit(batch_mb(job, 0))
+        state = engine.export_job_state(0)
+        frozen = {k: (a.copy(), b.copy()) for k, (a, b) in state.weights.items()}
+        engine.submit(batch_mb(job, 1))  # keep training on the source
+        for key in frozen:
+            np.testing.assert_array_equal(state.weights[key][0], frozen[key][0])
+            np.testing.assert_array_equal(state.weights[key][1], frozen[key][1])
+
+    def test_export_mid_batch_rejected(self):
+        job = make_job(0, n=4, gbs=4)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        half = Microbatch(capacity=256, padding_multiple=1)
+        for i in (0, 1):
+            half.add(Assignment(Sample(0, i, len(job.token_streams[i])), 0))
+        engine.submit(half)
+        with pytest.raises(ScheduleError, match="partially-accumulated"):
+            engine.export_job_state(0)
+
+    def test_export_unknown_job_rejected(self):
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY))
+        with pytest.raises(ScheduleError, match="unknown job"):
+            engine.export_job_state(9)
+
+    def test_import_while_live_rejected(self):
+        job = make_job(0)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        state = engine.export_job_state(0)
+        with pytest.raises(ScheduleError, match="still live"):
+            engine.import_job_state(job, state)
+
+    def test_import_config_mismatch_rejected(self):
+        job = make_job(0, rank=2)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        state = engine.export_job_state(0)
+        engine.remove_job(0)
+        target = MultiLoRAEngine(TinyLoRATransformer(TINY))
+        with pytest.raises(ScheduleError, match="rank|shape|config"):
+            target.import_job_state(make_job(0, rank=3), state)
+
+    def test_json_round_trip_preserves_state(self):
+        import json
+
+        job = make_job(0, n=6, gbs=2)
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY), [job])
+        self.finish(engine, job, 0, 2)
+        state = engine.export_job_state(0)
+        from repro.runtime import JobState
+
+        rebuilt = JobState.from_dict(json.loads(json.dumps(state.to_dict())))
+        assert rebuilt.adapter_id == state.adapter_id
+        assert rebuilt.steps_done == state.steps_done
+        assert rebuilt.losses == state.losses
+        assert rebuilt.optimizer["step_count"] == state.optimizer["step_count"]
+        for key in state.weights:
+            np.testing.assert_array_equal(
+                rebuilt.weights[key][0], state.weights[key][0]
+            )
+            np.testing.assert_array_equal(
+                rebuilt.weights[key][1], state.weights[key][1]
+            )
+        for key in state.optimizer["moments"]:
+            np.testing.assert_array_equal(
+                rebuilt.optimizer["moments"][key][0],
+                state.optimizer["moments"][key][0],
+            )
+
+    def test_migrate_away_and_back(self):
+        # A -> B -> A: re-importing an id this engine trained before is
+        # allowed (restore is explicit), and stays bit-identical.
+        job_spec = lambda: make_job(0, n=8, gbs=2)
+        job = job_spec()
+        model_a = TinyLoRATransformer(TINY, np.random.default_rng(6))
+        engine_a = MultiLoRAEngine(model_a, [job_spec()])
+        self.finish(engine_a, job, 0, 1)
+        state = engine_a.export_job_state(0)
+        engine_a.remove_job(0)
+
+        model_b = TinyLoRATransformer(TINY, np.random.default_rng(6))
+        engine_b = MultiLoRAEngine(model_b)
+        engine_b.import_job_state(job_spec(), state)
+        self.finish(engine_b, job, 1, 2)
+        state = engine_b.export_job_state(0)
+        engine_b.remove_job(0)
+
+        engine_a.import_job_state(job_spec(), state)
+        self.finish(engine_a, job, 2, 4)
+
+        straight_model = TinyLoRATransformer(TINY, np.random.default_rng(6))
+        straight = MultiLoRAEngine(straight_model, [job_spec()])
+        self.finish(straight, job, 0, 4)
+        for key in straight_model.adapter_state(0):
+            np.testing.assert_array_equal(
+                model_a.adapter_state(0)[key].a,
+                straight_model.adapter_state(0)[key].a,
+            )
+            np.testing.assert_array_equal(
+                model_a.adapter_state(0)[key].b,
+                straight_model.adapter_state(0)[key].b,
+            )

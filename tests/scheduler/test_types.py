@@ -96,10 +96,11 @@ class TestSchedule:
 class TestScheduleSerialization:
     def make_schedule(self):
         mb1 = Microbatch(capacity=256, padding_multiple=64, group=1, step=2,
-                         plan_id=3)
+                         plan_id=3, replica=2)
         mb1.add(Assignment(sample(0, 4, 100), 2))
         mb1.add(Assignment(sample(1, 0, 40), 2))
-        noop = Microbatch(capacity=256, padding_multiple=64, plan_id=3)
+        noop = Microbatch(capacity=256, padding_multiple=64, plan_id=3,
+                          replica=2)
         return Schedule(
             microbatches=[mb1, noop],
             num_stages=4,
@@ -115,8 +116,9 @@ class TestScheduleSerialization:
         for original, copy in zip(schedule.microbatches, rebuilt.microbatches):
             assert copy.capacity == original.capacity
             assert copy.padding_multiple == original.padding_multiple
-            assert (copy.group, copy.step, copy.plan_id) == (
+            assert (copy.group, copy.step, copy.plan_id, copy.replica) == (
                 original.group, original.step, original.plan_id,
+                original.replica,
             )
             assert copy.padded_tokens == original.padded_tokens
             assert [
@@ -137,3 +139,11 @@ class TestScheduleSerialization:
             del entry["plan_id"]
         rebuilt = Schedule.from_dict(payload)
         assert all(mb.plan_id == 0 for mb in rebuilt.microbatches)
+
+    def test_missing_replica_defaults_to_zero(self):
+        # Dumps that predate multi-replica serving stay loadable.
+        payload = self.make_schedule().to_dict()
+        for entry in payload["microbatches"]:
+            del entry["replica"]
+        rebuilt = Schedule.from_dict(payload)
+        assert all(mb.replica == 0 for mb in rebuilt.microbatches)

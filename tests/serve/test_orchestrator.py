@@ -185,6 +185,21 @@ class TestServingLoop:
         ]
         assert find_violations(rebuilt.microbatches, 2) == []
 
+    def test_inject_without_free_slot_rejected(self):
+        # The admission budget holds across migration: a state-carrying
+        # ticket cannot land on a replica whose slots are all taken.
+        jobs = make_jobs(2, samples=8, gbs=4)
+        source = make_orchestrator(num_stages=1, window=1, slots=1)
+        source.start([ServeJob(job=jobs[0], arrival_time=0.0)])
+        source.step()  # admit + first wave: job 0 active, at a boundary
+        ticket = source.eject_job(0)
+        assert ticket.payload is not None
+        target = make_orchestrator(num_stages=1, window=1, slots=1)
+        target.start([ServeJob(job=jobs[1], arrival_time=0.0)])
+        target.step()  # job 1 occupies the only slot
+        with pytest.raises(ScheduleError, match="no free adapter slot"):
+            target.inject_job(ticket)
+
     def test_plan_ids_trace_replanning_waves(self):
         jobs = make_jobs(3, samples=12, gbs=4)
         workload = [

@@ -1,0 +1,286 @@
+"""Tests for multi-replica serving: routing, rebalancing, aggregation."""
+
+import pytest
+
+from repro.data import synthetic_dataset
+from repro.errors import ScheduleError
+from repro.gpu import H100
+from repro.models.config import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import AdapterJob, SchedulerConfig, find_violations
+from repro.serve import (
+    OrchestratorConfig,
+    ReplicaSet,
+    ReplicaSetConfig,
+    RoundRobinRouting,
+    ServeJob,
+    SlotAdmission,
+    StreamingSimExecutor,
+    poisson_workload,
+)
+
+DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+NUM_STAGES = 2
+COST = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+
+
+class StickyRouting:
+    """Degenerate policy pinning every tenant to replica 0 (test-only)."""
+
+    def choose(self, job, replicas):
+        return 0
+
+
+def make_jobs(count, samples=16, gbs=8, seed=3):
+    return [
+        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], samples, seed=seed),
+                   gbs)
+        for a in range(count)
+    ]
+
+
+def make_set(num_replicas, routing=None, threshold=None, slots=4, window=1,
+             num_stages=NUM_STAGES):
+    config = ReplicaSetConfig(
+        orchestrator=OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=8192, num_stages=num_stages,
+                                      use_milp=False),
+            window_batches=window,
+            admission=SlotAdmission(slots) if slots else None,
+        ),
+        routing=routing,
+        migration_threshold=threshold,
+    )
+    executors = [
+        StreamingSimExecutor(COST, num_stages) for _ in range(num_replicas)
+    ]
+    return ReplicaSet(executors, config)
+
+
+def poisson(jobs, rate=1.0, rng=5):
+    return poisson_workload(jobs, rate=rate, rng=rng)
+
+
+class TestReplicaSetServing:
+    def test_all_jobs_complete_with_zero_violations(self):
+        workload = poisson(make_jobs(8))
+        result = make_set(2).run(workload)
+        assert result.violations == 0
+        for replica in make_set(2).replicas:
+            assert replica.stream == []  # fresh set untouched
+        for job in workload:
+            record = result.records[job.adapter_id]
+            assert record.finish_time is not None
+            assert record.replica in (0, 1)
+
+    def test_each_replica_stream_is_bubble_safe_and_stamped(self):
+        workload = poisson(make_jobs(6))
+        replica_set = make_set(3)
+        replica_set.run(workload)
+        for index, replica in enumerate(replica_set.replicas):
+            assert find_violations(replica.stream, NUM_STAGES) == []
+            assert all(mb.replica == index for mb in replica.stream)
+
+    def test_every_sample_served_exactly_once_across_replicas(self):
+        jobs = make_jobs(6, samples=12, gbs=4)
+        replica_set = make_set(2)
+        replica_set.run(poisson(jobs))
+        for job in jobs:
+            seen = sorted(
+                a.sample.index
+                for replica in replica_set.replicas
+                for mb in replica.stream
+                for a in mb.assignments
+                if a.adapter_id == job.adapter_id
+            )
+            assert seen == list(range(len(job.dataset)))
+
+    def test_two_replicas_beat_one_on_job_throughput(self):
+        jobs = make_jobs(8)
+        single = make_set(1).run(poisson(jobs))
+        double = make_set(2).run(poisson(jobs))
+        assert double.jobs_per_time() > single.jobs_per_time()
+        assert double.makespan <= single.makespan
+
+    def test_round_robin_spreads_tenants(self):
+        workload = [
+            ServeJob(job=job, arrival_time=0.0) for job in make_jobs(4)
+        ]
+        replica_set = make_set(2, routing=RoundRobinRouting())
+        replica_set.run(workload)
+        assert sorted(replica_set.router.assignments.values()) == [0, 0, 1, 1]
+
+    def test_run_is_single_shot(self):
+        workload = poisson(make_jobs(2))
+        replica_set = make_set(2)
+        replica_set.run(workload)
+        with pytest.raises(ScheduleError, match="single-shot"):
+            replica_set.run(workload)
+
+    def test_duplicate_adapter_ids_rejected(self):
+        job = make_jobs(1)[0]
+        workload = [
+            ServeJob(job=job, arrival_time=0.0),
+            ServeJob(job=job, arrival_time=1.0),
+        ]
+        with pytest.raises(ScheduleError, match="duplicate"):
+            make_set(2).run(workload)
+
+    def test_zero_executors_rejected(self):
+        with pytest.raises(ScheduleError, match="at least one"):
+            ReplicaSet([], make_set(1).config)
+
+
+class TestRebalancing:
+    def sticky_workload(self):
+        """One long tenant at t=0, two short ones just after.
+
+        With sticky routing, a threshold of 8, and a depth-1 pipeline
+        (every scheduled batch steps at submit, so the long job sits at a
+        step boundary between waves), the two short arrivals push replica
+        0's backlog to 9 while replica 1 idles; the long job's remaining
+        5 batches are then the move that best evens the pair, forcing an
+        *active* (state-carrying) migration.
+        """
+        long_job = AdapterJob(0, synthetic_dataset(0, "xsum", 12, seed=3), 2)
+        shorts = [
+            AdapterJob(a, synthetic_dataset(a, "xsum", 4, seed=3), 2)
+            for a in (1, 2)
+        ]
+        return [
+            ServeJob(job=long_job, arrival_time=0.0),
+            ServeJob(job=shorts[0], arrival_time=0.01),
+            ServeJob(job=shorts[1], arrival_time=0.01),
+        ]
+
+    def test_skew_triggers_active_migration(self):
+        replica_set = make_set(2, routing=StickyRouting(), threshold=8,
+                               num_stages=1)
+        result = replica_set.run(self.sticky_workload())
+        assert result.migrations >= 1
+        migrated = [r for r in result.records.values() if r.migrations > 0]
+        assert migrated and all(r.finish_time is not None for r in migrated)
+        assert result.violations == 0
+        # The migrated job's record lives on (and only on) its final replica.
+        for record in migrated:
+            assert record.replica == 1
+            assert record.adapter_id in result.replicas[1].records
+            assert record.adapter_id not in result.replicas[0].records
+
+    def test_migrated_job_splits_its_stream_across_replicas(self):
+        replica_set = make_set(2, routing=StickyRouting(), threshold=8,
+                               num_stages=1)
+        result = replica_set.run(self.sticky_workload())
+        migrated = next(
+            r.adapter_id for r in result.records.values() if r.migrations > 0
+        )
+        per_replica = []
+        for replica in replica_set.replicas:
+            batches = sorted(
+                {
+                    a.global_batch
+                    for mb in replica.stream
+                    for a in mb.assignments
+                    if a.adapter_id == migrated
+                }
+            )
+            per_replica.append(batches)
+        assert per_replica[0] and per_replica[1]
+        # Source replica ran a strict prefix of the batch indices, the
+        # destination the remaining suffix -- no overlap, no gap.
+        assert per_replica[0][-1] + 1 == per_replica[1][0]
+        combined = per_replica[0] + per_replica[1]
+        assert combined == list(range(len(combined)))
+
+    def test_pending_jobs_reroute_before_state_moves(self):
+        # All tenants equal-sized: the best skew reducer is a queue move.
+        jobs = make_jobs(4, samples=8, gbs=4)
+        workload = [ServeJob(job=job, arrival_time=0.0) for job in jobs]
+        replica_set = make_set(2, routing=StickyRouting(), threshold=2)
+        result = replica_set.run(workload)
+        assert result.reroutes >= 1
+        assert all(
+            r.finish_time is not None for r in result.records.values()
+        )
+
+    def test_threshold_none_never_migrates(self):
+        replica_set = make_set(2, routing=StickyRouting(), threshold=None)
+        result = replica_set.run(self.sticky_workload())
+        assert result.migrations == 0
+        assert result.reroutes == 0
+        assert all(r.replica == 0 for r in result.records.values())
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ScheduleError, match="migration_threshold"):
+            make_set(2, threshold=-1)
+
+
+class TestCrossReplicaAggregation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        replica_set = make_set(3)
+        result = replica_set.run(poisson(make_jobs(9, samples=12, gbs=4)))
+        return result
+
+    def test_records_partition_across_replicas(self, outcome):
+        per_replica_ids = [set(r.records) for r in outcome.replicas]
+        merged = set()
+        for ids in per_replica_ids:
+            assert merged.isdisjoint(ids)
+            merged |= ids
+        assert merged == set(outcome.records)
+
+    def test_token_and_microbatch_totals_are_sums(self, outcome):
+        assert outcome.total_tokens == sum(
+            r.total_tokens for r in outcome.replicas
+        )
+        assert outcome.total_microbatches == sum(
+            r.total_microbatches for r in outcome.replicas
+        )
+        assert outcome.noop_microbatches == sum(
+            r.noop_microbatches for r in outcome.replicas
+        )
+
+    def test_makespan_is_the_slowest_replica(self, outcome):
+        assert outcome.makespan == max(r.makespan for r in outcome.replicas)
+
+    def test_utilization_is_makespan_weighted(self, outcome):
+        weighted = sum(
+            r.utilization * r.makespan for r in outcome.replicas
+        )
+        total = sum(r.makespan for r in outcome.replicas)
+        assert outcome.utilization() == pytest.approx(weighted / total)
+
+    def test_mean_jct_is_count_weighted(self, outcome):
+        total, count = 0.0, 0
+        for replica in outcome.replicas:
+            times = [
+                r.completion_time
+                for r in replica.records.values()
+                if r.completion_time is not None
+            ]
+            total += sum(times)
+            count += len(times)
+        assert outcome.mean_completion_time() == pytest.approx(total / count)
+
+    def test_mean_queueing_delay_is_count_weighted(self, outcome):
+        delays = [
+            r.queueing_delay
+            for replica in outcome.replicas
+            for r in replica.records.values()
+            if r.queueing_delay is not None
+        ]
+        assert outcome.mean_queueing_delay() == pytest.approx(
+            sum(delays) / len(delays)
+        )
+
+    def test_throughput_uses_fleet_totals(self, outcome):
+        finished = sum(
+            1 for r in outcome.records.values() if r.finish_time is not None
+        )
+        assert outcome.jobs_per_time() == pytest.approx(
+            finished / outcome.makespan
+        )
+        assert outcome.tokens_per_time() == pytest.approx(
+            outcome.total_tokens / outcome.makespan
+        )
