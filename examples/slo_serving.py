@@ -1,0 +1,122 @@
+"""SLO-aware serving: a high-class tenant preempts, losslessly.
+
+One numeric pipeline with a single adapter slot serves two tenants: a
+long best-effort job (priority 0) and a short high-class job (priority
+1) arriving mid-run.  Under FCFS the high-class tenant would wait for
+the long job to finish; under the preemptive priority policy it evicts
+the long job instead -- the orchestrator exports the victim's adapter
+weights, AdamW moments, and progress counters at an optimizer-step
+boundary, parks them, serves the high-class tenant, and then resumes
+the victim exactly where it stopped.  Both tenants finish with adapter
+weights bit-identical to training each alone: preemption is lossless.
+
+Run:  PYTHONPATH=src python examples/slo_serving.py
+"""
+
+import numpy as np
+
+from repro.baselines import train_job_sequentially
+from repro.core.lora import LoRAConfig
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.models import TINY, TinyLoRATransformer
+from repro.runtime import MultiLoRAEngine, NumericJob
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import (
+    FCFSOrdering,
+    NumericExecutor,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    PriorityOrdering,
+    ServeJob,
+    SlotAdmission,
+)
+
+MODEL_SEED = 42
+
+
+def make_tenant(rng, adapter_id, rank, num_samples, gbs, arrival, priority):
+    streams = [
+        rng.integers(0, TINY.vocab_size, int(rng.integers(6, 16)))
+        for _ in range(num_samples)
+    ]
+    numeric = NumericJob(
+        adapter_id=adapter_id,
+        lora=LoRAConfig(rank=rank, alpha=1.0, dropout=0.0,
+                        adapter_id=adapter_id),
+        token_streams=streams,
+        global_batch_size=gbs,
+    )
+    dataset = FinetuneDataset(
+        adapter_id,
+        [Sample(adapter_id, i, len(t)) for i, t in enumerate(streams)],
+    )
+    return ServeJob(
+        job=AdapterJob(adapter_id, dataset, gbs),
+        arrival_time=arrival,
+        numeric=numeric,
+        priority=priority,
+    )
+
+
+def make_workload():
+    rng = np.random.default_rng(0)
+    return [
+        make_tenant(rng, 0, 2, 12, 2, arrival=0.0, priority=0),  # long
+        make_tenant(rng, 1, 3, 4, 2, arrival=1.0, priority=1),   # urgent
+    ]
+
+
+def serve(workload, ordering, mid_wave):
+    model = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+    engine = MultiLoRAEngine(model, exact_accumulation=True)
+    config = OrchestratorConfig(
+        scheduler=SchedulerConfig(capacity=64, padding_multiple=1,
+                                  num_stages=2, use_milp=False, group_size=2),
+        window_batches=1,
+        admission=SlotAdmission(1),  # one slot: contention is the point
+        ordering=ordering,
+        mid_wave_admission=mid_wave,
+    )
+    orchestrator = OnlineOrchestrator(NumericExecutor(engine), config)
+    return model, orchestrator.run(workload)
+
+
+def main() -> None:
+    workload = make_workload()
+    _, fcfs = serve(make_workload(), FCFSOrdering(), mid_wave=False)
+    model, slo = serve(workload, PriorityOrdering(), mid_wave=True)
+
+    print("high-class tenant (adapter 1), one adapter slot:")
+    print(f"  FCFS:              JCT {fcfs.records[1].completion_time:6.0f}, "
+          f"{fcfs.preemptions} preemption(s)")
+    print(f"  priority+preempt:  JCT {slo.records[1].completion_time:6.0f}, "
+          f"{slo.preemptions} preemption(s), "
+          f"{slo.wave_cuts} wave cut(s)\n")
+    for adapter_id, record in sorted(slo.records.items()):
+        print(
+            f"tenant {adapter_id}: class {record.priority}  arrived "
+            f"{record.arrival_time:4.0f}  finished {record.finish_time:5.0f}  "
+            f"preempted {record.preemptions}x"
+        )
+    print(f"\nper-class mean JCT: {slo.jct_by_class()}")
+    print(f"bubble-lemma violations: {slo.violations}")
+
+    # Retrain each tenant alone and compare bit for bit -- including the
+    # tenant that was evicted, parked, and resumed.
+    exact = True
+    for serve_job in workload:
+        reference = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+        train_job_sequentially(reference, serve_job.numeric)
+        online = model.adapter_state(serve_job.adapter_id)
+        solo = reference.adapter_state(serve_job.adapter_id)
+        exact &= all(
+            np.array_equal(online[key].a, solo[key].a)
+            and np.array_equal(online[key].b, solo[key].b)
+            for key in online
+        )
+    print(f"\nonline == sequential parameters, bit for bit: {exact} "
+          "(losslessness across preemption)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,10 @@
 """Check intra-repo links in README.md and docs/*.md.
 
 Scans markdown inline links (``[text](target)``) and fails when a
-relative target does not exist in the repository.  External links
-(``http(s)://``), mail links, and pure in-page anchors are skipped;
-anchors on relative targets are stripped before the existence check.
+relative target does not exist in the repository -- or when a link's
+``#fragment`` does not match any heading anchor of the target document
+(GitHub-style slugs), including pure in-page ``#section`` links.
+External links (``http(s)://``) and mail links are skipped.
 
 CI runs this as the docs job; ``tests/docs/test_links.py`` runs the same
 check under pytest so broken links fail locally too.
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 import re
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -23,6 +25,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: Fenced code blocks, where link-looking text is code, not a link.
 _FENCE = re.compile(r"```.*?```", re.DOTALL)
+#: ATX headings (``# ...`` through ``###### ...``).
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+#: Characters GitHub strips when slugifying a heading.
+_SLUG_STRIP = re.compile(r"[^\w\- ]")
 
 
 def doc_files(root: Path = REPO_ROOT) -> list[Path]:
@@ -32,19 +38,57 @@ def doc_files(root: Path = REPO_ROOT) -> list[Path]:
     return [f for f in files if f.exists()]
 
 
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading (sans duplicate suffixes)."""
+    text = _SLUG_STRIP.sub("", heading.strip().lower())
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def heading_anchors(path: Path) -> frozenset[str]:
+    """Every anchor a document exposes, with ``-N`` duplicate suffixes.
+
+    Cached per path: several links usually point at the same document,
+    and one parse per file is enough (the checker is one-shot).
+    """
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in _FENCE.sub("", path.read_text()).splitlines():
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return frozenset(anchors)
+
+
 def broken_links(path: Path) -> list[tuple[str, str]]:
-    """``(target, reason)`` pairs for every broken relative link."""
+    """``(target, reason)`` pairs for every broken relative link.
+
+    A link is broken when its file part does not exist, or when its
+    ``#fragment`` names no heading anchor of the target document (the
+    linked file for ``file.md#frag``, this document for ``#frag``).
+    """
     text = _FENCE.sub("", path.read_text())
     problems = []
     for target in _LINK.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (path.parent / relative).resolve()
+        relative, _, fragment = target.partition("#")
+        resolved = (path.parent / relative).resolve() if relative else path
         if not resolved.exists():
             problems.append((target, f"missing file {resolved}"))
+            continue
+        if not fragment:
+            continue
+        if resolved.suffix != ".md":
+            continue  # anchors are only checkable in markdown
+        if fragment not in heading_anchors(resolved):
+            problems.append(
+                (target, f"dangling anchor '#{fragment}' in {resolved.name}")
+            )
     return problems
 
 

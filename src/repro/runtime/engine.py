@@ -352,7 +352,11 @@ class MultiLoRAEngine:
         not-yet-trained global batches remain.  Unlike :meth:`add_job`,
         re-importing an id this engine has seen before is allowed: restore
         is explicit, so overwriting is intended (the migration path A ->
-        B -> A and restarts from a checkpoint both need it).
+        B -> A, resuming a preempted job on the engine that parked it,
+        and restarts from a checkpoint all need it).  The one overwrite
+        refused is a *regression*: a snapshot claiming fewer steps than
+        this engine already applied for the adapter is stale, and
+        resuming from it would silently repeat optimizer steps.
 
         Args:
             job: The job definition (token streams, batch size) -- must be
@@ -364,7 +368,8 @@ class MultiLoRAEngine:
                 belongs to another adapter, the adapter exists with a
                 different LoRA config, the snapshot's parameter layout
                 does not match, or the snapshot claims more steps than the
-                job has batches.
+                job has batches -- or fewer than this engine already
+                applied for the adapter (a stale snapshot).
         """
         aid = job.adapter_id
         if aid in self.jobs:
@@ -381,6 +386,13 @@ class MultiLoRAEngine:
             raise ScheduleError(
                 f"snapshot has {state.steps_done} steps but the job only "
                 f"has {job.num_global_batches()} global batches"
+            )
+        if state.steps_done < self._steps_done.get(aid, 0):
+            raise ScheduleError(
+                f"snapshot for job {aid} is stale: it holds "
+                f"{state.steps_done} steps but this engine already applied "
+                f"{self._steps_done[aid]}; resuming would repeat optimizer "
+                "steps"
             )
         if aid not in self.model.adapters:
             self.model.add_adapter(job.lora)

@@ -6,15 +6,23 @@ adapter-slot budget, scheduled window by window, spliced into the
 in-flight microbatch stream, and retired on completion -- with the same
 losslessness guarantee the offline path has.
 
+Admission is SLO-aware: a pluggable :class:`OrderingPolicy` ranks slot
+candidates (FCFS, SRPT on remaining batches, priority classes, or
+earliest deadline first), preemptive policies evict running jobs
+losslessly (state exported at an optimizer-step boundary, parked, and
+resumed bit-identically), and ``mid_wave_admission`` lets an urgent
+arrival cut the running wave instead of waiting for its boundary.
+
 Two deployment shapes ship.  A single pipeline is an
 :class:`OnlineOrchestrator` over one :class:`Executor`.  Scale-out is a
 :class:`ReplicaSet`: N independent orchestrators, a :class:`TenantRouter`
 assigning each arriving :class:`ServeJob` to one of them (round-robin,
-least-loaded, or packing-affinity), and threshold-triggered job migration
-that moves mid-training state between replicas losslessly.
+least-loaded, packing-affinity, or priority-headroom), and
+threshold-triggered job migration that moves mid-training state between
+replicas losslessly.
 
 See ``docs/architecture.md`` for the module map and ``docs/serving.md``
-for the operator-facing guide.
+for the operator-facing guide (including the SLO & fairness section).
 """
 
 from repro.serve.admission import AdmissionPolicy, MemoryAdmission, SlotAdmission
@@ -31,10 +39,19 @@ from repro.serve.orchestrator import (
     OnlineOrchestrator,
     OrchestratorConfig,
 )
+from repro.serve.ordering import (
+    DeadlineOrdering,
+    FCFSOrdering,
+    JobView,
+    OrderingPolicy,
+    PriorityOrdering,
+    SRPTOrdering,
+)
 from repro.serve.replicaset import ReplicaSet, ReplicaSetConfig
 from repro.serve.router import (
     LeastLoadedRouting,
     PackingAffinityRouting,
+    PriorityHeadroomRouting,
     ReplicaView,
     RoundRobinRouting,
     RoutingPolicy,
@@ -44,8 +61,11 @@ from repro.serve.splice import StreamSplicer
 
 __all__ = [
     "AdmissionPolicy",
+    "DeadlineOrdering",
     "Executor",
+    "FCFSOrdering",
     "JobRecord",
+    "JobView",
     "LeastLoadedRouting",
     "MemoryAdmission",
     "MigrationTicket",
@@ -53,13 +73,17 @@ __all__ = [
     "OnlineOrchestrator",
     "OrchestratorConfig",
     "OrchestratorResult",
+    "OrderingPolicy",
     "PackingAffinityRouting",
+    "PriorityHeadroomRouting",
+    "PriorityOrdering",
     "ReplicaSet",
     "ReplicaSetConfig",
     "ReplicaSetResult",
     "ReplicaView",
     "RoundRobinRouting",
     "RoutingPolicy",
+    "SRPTOrdering",
     "ServeJob",
     "SlotAdmission",
     "StepEvent",

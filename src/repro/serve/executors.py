@@ -34,7 +34,7 @@ from repro.distsim.pipeline import PipelineResult
 from repro.distsim.systems import stage_times
 from repro.errors import ScheduleError, SimulationError
 from repro.models.layer_costs import LayerCostModel
-from repro.runtime.engine import MultiLoRAEngine
+from repro.runtime.engine import JobState, MultiLoRAEngine
 from repro.scheduler.types import Microbatch
 from repro.serve.jobs import ServeJob
 
@@ -135,20 +135,22 @@ class NumericExecutor:
         return self.engine.export_job_state(adapter_id)
 
     def import_job(self, job: ServeJob, payload: object) -> None:
-        """Resume a migrated job on this executor's engine."""
+        """Resume a migrated or preempted job on this executor's engine."""
         if job.numeric is None:
             raise ScheduleError(
                 f"job {job.adapter_id} has no numeric payload; "
                 "NumericExecutor requires ServeJob.numeric"
             )
+        if not isinstance(payload, JobState):
+            raise ScheduleError(
+                f"job {job.adapter_id} payload is not an engine JobState "
+                "snapshot; it was exported by a different executor kind"
+            )
         self.engine.import_job_state(job.numeric, payload)
 
     def submit(self, microbatch: Microbatch) -> list[StepEvent]:
         completed = self.engine.submit(microbatch)
-        cost = (
-            microbatch.capacity if microbatch.is_noop
-            else microbatch.padded_tokens
-        )
+        cost = microbatch.capacity if microbatch.is_noop else microbatch.padded_tokens
         self._clock += float(cost)
         self._real_tokens += microbatch.real_tokens
         return [
@@ -243,6 +245,11 @@ class StreamingSimExecutor:
         aid = job.adapter_id
         if any(key[0] == aid for key in self._remaining):
             raise SimulationError(f"job {aid} already registered")
+        if not isinstance(payload, dict) or "remaining" not in payload:
+            raise SimulationError(
+                f"job {aid} payload is not a simulator snapshot; it was "
+                "exported by a different executor kind"
+            )
         for batch, count in payload["remaining"].items():
             self._remaining[(aid, batch)] = count
 
@@ -314,11 +321,7 @@ class StreamingSimExecutor:
         # _last_of_batch still points at feed future dependency checks.
         for index in range(self._segment_start, n):
             del self._mbs[index]
-        live = {
-            index
-            for indices in self._last_of_batch.values()
-            for index in indices
-        }
+        live = {index for indices in self._last_of_batch.values() for index in indices}
         self._fwd_end.clear()
         self._bwd_end = {
             key: end for key, end in self._bwd_end.items() if key[1] in live
@@ -331,7 +334,13 @@ class StreamingSimExecutor:
             self._clock[s] = max(self._clock[s], time)
 
     def utilization(self) -> float:
-        """Busy fraction across stages (1 - bubble ratio)."""
+        """Busy fraction across stages (1 - bubble ratio).
+
+        An executor that never ran a microbatch reports 0.0, not the
+        1.0 a zero-makespan bubble ratio would degenerate to.
+        """
+        if not self._submitted:
+            return 0.0
         return self.result().utilization
 
     @property

@@ -30,15 +30,27 @@ class ServeJob:
         arrival_time: Virtual time at which the job becomes known.
         numeric: Token-level payload for numeric execution (None when the
             orchestrator only simulates makespan).
+        priority: SLO class; larger is more urgent.  Consulted by
+            class-aware :mod:`~repro.serve.ordering` policies and by
+            priority-aware routing; 0 (best effort) elsewhere.
+        deadline: Virtual time the job should finish by, for
+            deadline-driven ordering and the deadline-miss-rate metric
+            (``None`` = no deadline).
     """
 
     job: AdapterJob
     arrival_time: float
     numeric: NumericJob | None = None
+    priority: int = 0
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ScheduleError("arrival_time must be non-negative")
+        if self.deadline is not None and self.deadline <= self.arrival_time:
+            raise ScheduleError(
+                "deadline must lie strictly after the job's arrival",
+            )
         if self.job.batch_offset != 0:
             raise ScheduleError(
                 "ServeJob takes the full job (batch_offset 0); the "
@@ -80,6 +92,4 @@ def poisson_workload(
         order (no numeric payloads -- simulation workloads only).
     """
     times = poisson_times(len(jobs), rate, rng)
-    return [
-        ServeJob(job=job, arrival_time=time) for job, time in zip(jobs, times)
-    ]
+    return [ServeJob(job=job, arrival_time=time) for job, time in zip(jobs, times)]

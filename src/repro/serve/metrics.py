@@ -5,6 +5,11 @@ how long a job queued for an adapter slot, how long until its first
 microbatch ran, and its job completion time (JCT).  The orchestrator
 fills one :class:`JobRecord` per job and aggregates them, together with
 stream-level utilization counters, into an :class:`OrchestratorResult`.
+
+With SLO-aware ordering (:mod:`repro.serve.ordering`) the records also
+carry each job's priority class, deadline, and preemption count, and the
+aggregates slice by class: per-class JCT and queueing, total
+preemptions, and the deadline-miss rate.
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ class JobRecord:
     Attributes:
         adapter_id: The job.
         arrival_time: When the job became known.
-        admit_time: When it received an adapter slot.
+        admit_time: When it first received an adapter slot (preemption
+            and resumption do not move it).
         first_scheduled_time: Clock before its first microbatch ran.
         finish_time: When its last optimizer step completed.
         num_batches: Optimizer steps the job takes.
@@ -34,6 +40,11 @@ class JobRecord:
             :class:`~repro.serve.replicaset.ReplicaSet` routed it
             (``None`` on a single pipeline).
         migrations: Times the job moved between replicas mid-training.
+        priority: SLO class the job arrived with (larger = more urgent).
+        deadline: Virtual time the job should have finished by
+            (``None`` = no deadline).
+        preemptions: Times an ordering policy evicted the job from its
+            adapter slot mid-training (each one lossless).
     """
 
     adapter_id: int
@@ -45,6 +56,9 @@ class JobRecord:
     total_tokens: int = 0
     replica: int | None = None
     migrations: int = 0
+    priority: int = 0
+    deadline: float | None = None
+    preemptions: int = 0
 
     @property
     def queueing_delay(self) -> float | None:
@@ -60,6 +74,20 @@ class JobRecord:
             return None
         return self.finish_time - self.arrival_time
 
+    @property
+    def deadline_missed(self) -> bool | None:
+        """Whether the job blew its deadline (``None`` without one).
+
+        A job that never finished counts as a miss: by the time a result
+        exists the session is over, so "not finished" is "not finished
+        by the deadline" a fortiori.
+        """
+        if self.deadline is None:
+            return None
+        if self.finish_time is None:
+            return True
+        return self.finish_time > self.deadline
+
 
 class _LatencyAggregates:
     """Latency/throughput views over a ``records`` dict (shared by the
@@ -68,27 +96,57 @@ class _LatencyAggregates:
 
     records: dict[int, JobRecord]
 
-    def mean_completion_time(self) -> float:
-        """Mean JCT across finished jobs."""
+    def _class_records(self, priority: int | None) -> list[JobRecord]:
+        return [
+            r
+            for r in self.records.values()
+            if priority is None or r.priority == priority
+        ]
+
+    def mean_completion_time(self, priority: int | None = None) -> float:
+        """Mean JCT across finished jobs (optionally one SLO class)."""
         times = [
             r.completion_time
-            for r in self.records.values()
+            for r in self._class_records(priority)
             if r.completion_time is not None
         ]
         return sum(times) / len(times) if times else 0.0
 
-    def mean_queueing_delay(self) -> float:
-        """Mean slot-wait across admitted jobs."""
+    def mean_queueing_delay(self, priority: int | None = None) -> float:
+        """Mean slot-wait across admitted jobs (optionally one class)."""
         delays = [
             r.queueing_delay
-            for r in self.records.values()
+            for r in self._class_records(priority)
             if r.queueing_delay is not None
         ]
         return sum(delays) / len(delays) if delays else 0.0
 
-    def tokens_per_time(self) -> float:
-        """Trained real tokens per unit of virtual time."""
-        return self.total_tokens / self.makespan if self.makespan else 0.0
+    def priority_classes(self) -> list[int]:
+        """The SLO classes present, most urgent (largest) first."""
+        return sorted({r.priority for r in self.records.values()}, reverse=True)
+
+    def jct_by_class(self) -> dict[int, float]:
+        """Mean JCT per priority class, most urgent first."""
+        return {cls: self.mean_completion_time(cls) for cls in self.priority_classes()}
+
+    def queueing_by_class(self) -> dict[int, float]:
+        """Mean queueing delay per priority class, most urgent first."""
+        return {cls: self.mean_queueing_delay(cls) for cls in self.priority_classes()}
+
+    def total_preemptions(self) -> int:
+        """Slot evictions across all jobs (each one losslessly resumed)."""
+        return sum(r.preemptions for r in self.records.values())
+
+    def deadline_misses(self) -> int:
+        """Deadline-carrying jobs that finished late (or not at all)."""
+        return sum(1 for r in self.records.values() if r.deadline_missed is True)
+
+    def deadline_miss_rate(self) -> float:
+        """Missed fraction among deadline-carrying jobs (0.0 with none)."""
+        carrying = [r for r in self.records.values() if r.deadline is not None]
+        if not carrying:
+            return 0.0
+        return self.deadline_misses() / len(carrying)
 
 
 @dataclass
@@ -109,6 +167,9 @@ class OrchestratorResult(_LatencyAggregates):
         violations: Bubble-lemma violations found on the full spliced
             stream -- always 0 for a correct run; recorded so benchmarks
             and tests can assert it.
+        preemptions: Slot evictions the ordering policy performed.
+        wave_cuts: Planning waves cut short by mid-wave admission (an
+            urgent arrival triggered early replanning).
         stats: Free-form counters (per-wave scheduler stats sums etc.).
     """
 
@@ -121,7 +182,13 @@ class OrchestratorResult(_LatencyAggregates):
     splice_noops: int = 0
     utilization: float = 0.0
     violations: int = 0
+    preemptions: int = 0
+    wave_cuts: int = 0
     stats: dict[str, float] = field(default_factory=dict)
+
+    def tokens_per_time(self) -> float:
+        """Trained real tokens per unit of virtual time."""
+        return self.total_tokens / self.makespan if self.makespan else 0.0
 
 
 @dataclass
@@ -182,6 +249,15 @@ class ReplicaSetResult(_LatencyAggregates):
         """Bubble-lemma violations across all replica streams (0 = correct)."""
         return sum(r.violations for r in self.replicas)
 
+    @property
+    def preemptions(self) -> int:
+        """Slot evictions across all replicas."""
+        return sum(r.preemptions for r in self.replicas)
+
+    def tokens_per_time(self) -> float:
+        """Trained real tokens per unit of virtual time (fleet-wide)."""
+        return self.total_tokens / self.makespan if self.makespan else 0.0
+
     def utilization(self) -> float:
         """Busy fraction of the fleet, weighted by each replica's makespan.
 
@@ -195,7 +271,5 @@ class ReplicaSetResult(_LatencyAggregates):
 
     def jobs_per_time(self) -> float:
         """Finished jobs per unit of virtual time (job throughput)."""
-        finished = sum(
-            1 for r in self.records.values() if r.finish_time is not None
-        )
+        finished = sum(1 for r in self.records.values() if r.finish_time is not None)
         return finished / self.makespan if self.makespan else 0.0

@@ -7,7 +7,13 @@ orchestrator closes that gap with an incremental schedule->splice->execute
 loop over any :class:`~repro.serve.executors.Executor`:
 
 1. **Admit** arrivals against the admission policy's adapter-slot budget
-   (memory-derived or fixed), in arrival order.
+   (memory-derived or fixed), in the order the configured
+   :class:`~repro.serve.ordering.OrderingPolicy` ranks them (FCFS,
+   SRPT, priority classes, or earliest deadline first).  A preemptive
+   policy may also *evict* a running job for a strictly better-ranked
+   candidate: the victim's executor state is exported at an
+   optimizer-step boundary and parked, and it re-enters the candidate
+   pool with its progress intact -- losslessly.
 2. **Plan a wave**: window each live job to its next ``window_batches``
    global batches (``batch_offset`` keeps optimizer-step indices
    absolute) and run the two-phase scheduler
@@ -19,20 +25,27 @@ loop over any :class:`~repro.serve.executors.Executor`:
    the concatenated stream never violates the bubble lemma.
 4. **Execute** the spliced microbatches; optimizer-step events update
    per-job records, and jobs whose final batch stepped retire
-   immediately, freeing their slot for the next arrival.
+   immediately, freeing their slot for the next arrival.  With
+   ``mid_wave_admission`` on, an urgent arrival (one the policy would
+   admit or promote right now) cuts the wave at the next
+   whole-global-batch point instead of waiting for the wave boundary:
+   the pipeline flushes, the unsubmitted tail returns to the planning
+   horizon, and the next wave includes the newcomer.
 
 When every live job is fully scheduled but pipeline work is still in
 flight (or pending jobs wait on slots), the executor drains -- a pipeline
 flush -- and the loop resumes with the freed slots.  Losslessness holds
 throughout: window scheduling never reorders samples across global-batch
-boundaries and the splicer preserves update ordering, so a job served
-under churn trains exactly as it would alone.
+boundaries, the splicer preserves update ordering, and preemption only
+moves state at optimizer-step boundaries, so a job served under churn --
+even evicted and resumed -- trains exactly as it would alone.
 """
 
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass
 
 from repro.data.dataset import FinetuneDataset, Sample
 from repro.errors import ScheduleError
@@ -43,6 +56,12 @@ from repro.serve.admission import AdmissionPolicy
 from repro.serve.executors import Executor, StepEvent
 from repro.serve.jobs import ServeJob
 from repro.serve.metrics import JobRecord, OrchestratorResult
+from repro.serve.ordering import (
+    FCFSOrdering,
+    JobView,
+    OrderingPolicy,
+    validate_policy,
+)
 from repro.serve.splice import StreamSplicer
 
 __all__ = ["OrchestratorConfig", "MigrationTicket", "OnlineOrchestrator"]
@@ -62,15 +81,26 @@ class OrchestratorConfig:
             schedules each job's whole remaining horizon in one wave
             (with all arrivals at time 0 this is the offline oracle).
         admission: Adapter-slot policy; ``None`` admits unboundedly.
+        ordering: Slot-candidate ranking (and preemption) policy;
+            ``None`` is FCFS, the original arrival-order behavior.
+        mid_wave_admission: Let an urgent arrival cut the running wave
+            at the next whole-global-batch point (paying a pipeline
+            flush) instead of waiting for the wave boundary.  Off by
+            default: under steady traffic the flush bubbles cost more
+            than the queueing they save.
     """
 
     scheduler: SchedulerConfig
     window_batches: int | None = 2
     admission: AdmissionPolicy | None = None
+    ordering: OrderingPolicy | None = None
+    mid_wave_admission: bool = False
 
     def __post_init__(self) -> None:
         if self.window_batches is not None and self.window_batches <= 0:
             raise ScheduleError("window_batches must be positive (or None)")
+        if self.ordering is not None:
+            validate_policy(self.ordering)
 
 
 @dataclass
@@ -96,15 +126,25 @@ class _ActiveJob:
         return self.steps_completed >= self.num_batches
 
 
+@dataclass
+class _ParkedJob:
+    """A preempted job waiting (with its exported state) for a slot."""
+
+    serve_job: ServeJob
+    payload: object
+    completed: int  # optimizer steps banked before eviction
+
+
 @dataclass(frozen=True)
 class MigrationTicket:
     """A job in transit between two orchestrators (pipeline replicas).
 
     Produced by :meth:`OnlineOrchestrator.eject_job` and consumed by
     :meth:`OnlineOrchestrator.inject_job`.  A still-pending job travels
-    without executor state (``payload is None``); an admitted job carries
-    the opaque :meth:`~repro.serve.executors.Executor.export_job` payload
-    that lets the destination executor continue it losslessly.
+    without executor state (``payload is None``); an admitted or parked
+    (preempted) job carries the opaque
+    :meth:`~repro.serve.executors.Executor.export_job` payload that lets
+    the destination executor continue it losslessly.
 
     Attributes:
         job: The serve job being moved (full dataset view).
@@ -155,39 +195,174 @@ class OnlineOrchestrator:
         self.replica_id = replica_id
         self.stream: list[Microbatch] = []
         self._splicer = StreamSplicer(config.scheduler.num_stages)
+        self._policy: OrderingPolicy = config.ordering or FCFSOrdering()
         self._pending: list[ServeJob] = []
+        self._parked: dict[int, _ParkedJob] = {}
         self._active: dict[int, _ActiveJob] = {}
         self._records: dict[int, JobRecord] = {}
         self._replans = 0
+        self._preemptions = 0
+        self._wave_cuts = 0
         self._stats: dict[str, float] = {key: 0.0 for key in _ACCUMULATED_STATS}
         self._slot_budget = (
             config.admission.max_concurrent()
-            if config.admission is not None else None
+            if config.admission is not None
+            else None
         )
         self._started = False
 
-    # -- lifecycle ----------------------------------------------------------
+    # -- candidate ranking ---------------------------------------------------
+
+    def _pending_view(self, job: ServeJob) -> JobView:
+        return JobView(
+            adapter_id=job.adapter_id,
+            arrival_time=job.arrival_time,
+            priority=job.priority,
+            deadline=job.deadline,
+            remaining_batches=job.job.num_global_batches(),
+            admitted=False,
+        )
+
+    def _parked_view(self, parked: _ParkedJob) -> JobView:
+        job = parked.serve_job
+        return JobView(
+            adapter_id=job.adapter_id,
+            arrival_time=job.arrival_time,
+            priority=job.priority,
+            deadline=job.deadline,
+            remaining_batches=job.job.num_global_batches() - parked.completed,
+            admitted=False,
+        )
+
+    def _active_view(self, state: _ActiveJob) -> JobView:
+        job = state.serve_job
+        return JobView(
+            adapter_id=job.adapter_id,
+            arrival_time=job.arrival_time,
+            priority=job.priority,
+            deadline=job.deadline,
+            remaining_batches=state.num_batches - state.steps_completed,
+            admitted=True,
+        )
+
+    def _due_candidates(self) -> list[tuple[tuple[float, ...], int]]:
+        """Every job eligible for a slot now, best policy rank first.
+
+        Candidates are due pending arrivals plus every parked
+        (preempted) job; the returned pairs are ``(policy key,
+        adapter id)``, sorted so index 0 is the next job to admit.
+        """
+        now = self.executor.clock
+        candidates = []
+        for job in self._pending:
+            if job.arrival_time > now:
+                break  # _pending is arrival-sorted
+            candidates.append(
+                (self._policy.key(self._pending_view(job), now), job.adapter_id)
+            )
+        for parked in self._parked.values():
+            candidates.append(
+                (
+                    self._policy.key(self._parked_view(parked), now),
+                    parked.serve_job.adapter_id,
+                )
+            )
+        return sorted(candidates)
+
+    def _preemption_victim(self, key: tuple[float, ...]) -> int | None:
+        """The active job a candidate ranked ``key`` may evict.
+
+        The worst-ranked (largest-key) active job, and only when the
+        candidate strictly outranks it -- ties never preempt, which is
+        what makes eviction/park/resume cycles terminate.
+        """
+        now = self.executor.clock
+        worst: tuple[tuple[float, ...], int] | None = None
+        for adapter_id, state in self._active.items():
+            victim_key = self._policy.key(self._active_view(state), now)
+            if victim_key > key and (worst is None or victim_key > worst[0]):
+                worst = (victim_key, adapter_id)
+        return None if worst is None else worst[1]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _admit(self, adapter_id: int) -> None:
+        """Give ``adapter_id`` (pending or parked) an adapter slot."""
+        record = self._records[adapter_id]
+        parked = self._parked.pop(adapter_id, None)
+        if parked is not None:
+            self.executor.import_job(parked.serve_job, parked.payload)
+            self._active[adapter_id] = _ActiveJob(
+                serve_job=parked.serve_job,
+                batches=parked.serve_job.job.dataset.global_batches(
+                    parked.serve_job.job.global_batch_size
+                ),
+                record=record,
+                next_batch=parked.completed,
+                steps_completed=parked.completed,
+            )
+            return
+        index = next(
+            i
+            for i, job in enumerate(self._pending)
+            if job.adapter_id == adapter_id
+        )
+        job = self._pending.pop(index)
+        if record.admit_time is None:
+            record.admit_time = self.executor.clock
+        self.executor.add_job(job)
+        self._active[adapter_id] = _ActiveJob(
+            serve_job=job,
+            batches=job.job.dataset.global_batches(job.job.global_batch_size),
+            record=record,
+        )
+
+    def _preempt(self, adapter_id: int) -> None:
+        """Evict an active job (at a step boundary) and park its state."""
+        state = self._active[adapter_id]
+        payload = self.executor.export_job(adapter_id)
+        self.executor.remove_job(adapter_id)
+        # The splicer's position bookkeeping is NOT retired: the job
+        # resumes on this same stream, and its next batch must still be
+        # spaced against the last one it trained here.
+        del self._active[adapter_id]
+        self._parked[adapter_id] = _ParkedJob(
+            serve_job=state.serve_job,
+            payload=payload,
+            completed=state.steps_completed,
+        )
+        state.record.preemptions += 1
+        self._preemptions += 1
 
     def _admit_ready(self) -> int:
-        """Admit due arrivals while adapter slots are free."""
+        """Admit due candidates in policy order; preempt where allowed.
+
+        Runs until the best-ranked candidate can neither take a free
+        slot nor (under a preemptive policy) evict a strictly
+        worse-ranked active job.  Eviction requires every active job to
+        sit at an optimizer-step boundary; when the pipeline is mid
+        flight the orchestrator pays a flush first -- which may retire
+        jobs and free the slot outright, so the loop re-evaluates after
+        draining rather than evicting blindly.
+        """
         admitted = 0
-        while self._pending:
-            job = self._pending[0]
-            if job.arrival_time > self.executor.clock:
+        while True:
+            candidates = self._due_candidates()
+            if not candidates:
                 break
-            if (self._slot_budget is not None
-                    and len(self._active) >= self._slot_budget):
+            if self._slot_budget is None or len(self._active) < self._slot_budget:
+                self._admit(candidates[0][1])
+                admitted += 1
+                continue
+            if not self._policy.preemptive:
                 break
-            self._pending.pop(0)
-            record = self._records[job.adapter_id]
-            record.admit_time = self.executor.clock
-            self.executor.add_job(job)
-            self._active[job.adapter_id] = _ActiveJob(
-                serve_job=job,
-                batches=job.job.dataset.global_batches(job.job.global_batch_size),
-                record=record,
-            )
-            admitted += 1
+            victim = self._preemption_victim(candidates[0][0])
+            if victim is None:
+                break
+            if any(s.steps_completed != s.next_batch for s in self._active.values()):
+                self._handle_events(self.executor.drain())
+                continue
+            self._preempt(victim)
         return admitted
 
     def _retire(self, adapter_id: int) -> None:
@@ -201,9 +376,7 @@ class OnlineOrchestrator:
         for event in events:
             state = self._active.get(event.adapter_id)
             if state is None:
-                raise ScheduleError(
-                    f"step event for unknown job {event.adapter_id}"
-                )
+                raise ScheduleError(f"step event for unknown job {event.adapter_id}")
             state.steps_completed += 1
             if state.finished:
                 state.record.finish_time = event.time
@@ -211,7 +384,7 @@ class OnlineOrchestrator:
                 retired += 1
         return retired
 
-    # -- planning -----------------------------------------------------------
+    # -- planning ------------------------------------------------------------
 
     def _window_job(self, state: _ActiveJob) -> AdapterJob:
         """The job's next window as an offset-carrying scheduler job."""
@@ -254,8 +427,57 @@ class OnlineOrchestrator:
         self._replans += 1
         return spliced
 
+    def _urgent_candidate(self) -> bool:
+        """Whether a due candidate warrants cutting the running wave.
+
+        True when the best-ranked due candidate could act right now:
+        either a slot is free (admission would succeed) or the policy is
+        preemptive and the candidate strictly outranks an active job.
+        """
+        candidates = self._due_candidates()
+        if not candidates:
+            return False
+        if self._slot_budget is None or len(self._active) < self._slot_budget:
+            return True
+        if not self._policy.preemptive:
+            return False
+        return self._preemption_victim(candidates[0][0]) is not None
+
+    def _cut_wave(self) -> None:
+        """Abandon the wave's unsubmitted tail and flush the pipeline.
+
+        Called only at a whole-global-batch point: every batch touched
+        so far is fully submitted, so the flush steps them all and
+        leaves every active job at an optimizer-step boundary.
+        Rewinding ``next_batch`` to ``steps_completed`` returns the
+        abandoned batches to the planning horizon, and the splicer
+        forgets the phantom tail positions; the next :meth:`step`
+        re-admits (possibly preempting) and replans with the urgent
+        arrival included.
+        """
+        self._wave_cuts += 1
+        self._handle_events(self.executor.drain())
+        self._splicer.truncate(len(self.stream))
+        for state in self._active.values():
+            state.next_batch = state.steps_completed
+
     def _execute(self, microbatches: list[Microbatch]) -> None:
-        for mb in microbatches:
+        interruptible = self.config.mid_wave_admission
+        if interruptible:
+            # Cut-point bookkeeping: a wave may only be cut where every
+            # global batch touched so far is fully submitted.
+            totals: Counter[tuple[int, int]] = Counter(
+                (a.adapter_id, a.global_batch)
+                for mb in microbatches
+                for a in mb.assignments
+            )
+            last_real = max(
+                (i for i, mb in enumerate(microbatches) if not mb.is_noop),
+                default=-1,
+            )
+            seen: Counter[tuple[int, int]] = Counter()
+            open_batches: set[tuple[int, int]] = set()
+        for index, mb in enumerate(microbatches):
             if not mb.is_noop:
                 for adapter_id in {a.adapter_id for a in mb.assignments}:
                     record = self._records[adapter_id]
@@ -263,8 +485,20 @@ class OnlineOrchestrator:
                         record.first_scheduled_time = self.executor.clock
             self.stream.append(mb)
             self._handle_events(self.executor.submit(mb))
+            if not interruptible:
+                continue
+            for assignment in mb.assignments:
+                key = (assignment.adapter_id, assignment.global_batch)
+                seen[key] += 1
+                if seen[key] == totals[key]:
+                    open_batches.discard(key)
+                else:
+                    open_batches.add(key)
+            if index < last_real and not open_batches and self._urgent_candidate():
+                self._cut_wave()
+                return
 
-    # -- the serving loop ---------------------------------------------------
+    # -- the serving loop ----------------------------------------------------
 
     def start(self, workload: list[ServeJob] | None = None) -> None:
         """Open the serving session and enqueue an initial workload.
@@ -321,26 +555,32 @@ class OnlineOrchestrator:
                 arrival_time=job.arrival_time,
                 num_batches=job.job.num_global_batches(),
                 total_tokens=job.job.dataset.total_tokens(),
+                priority=job.priority,
+                deadline=job.deadline,
             )
         self._records[job.adapter_id] = record
-        insort(self._pending, job,
-               key=lambda item: (item.arrival_time, item.adapter_id))
+        insort(
+            self._pending,
+            job,
+            key=lambda item: (item.arrival_time, item.adapter_id),
+        )
         return record
 
     def has_work(self) -> bool:
-        """Whether any job is still pending or actively training."""
-        return bool(self._pending or self._active)
+        """Whether any job is still pending, parked, or actively training."""
+        return bool(self._pending or self._parked or self._active)
 
     def step(self) -> bool:
         """Advance the serving loop by one iteration.
 
-        One iteration admits due arrivals and then either plans+executes
-        one scheduling wave, or (with nothing left to plan) drains the
-        pipeline and fast-forwards the clock to the next arrival.
+        One iteration admits due arrivals (preempting under a
+        preemptive policy) and then either plans+executes one scheduling
+        wave, or (with nothing left to plan) drains the pipeline and
+        fast-forwards the clock to the next arrival.
 
         Returns:
             ``True`` while work remains, ``False`` once the session is
-            idle (pending and active sets both empty).
+            idle (pending, parked, and active sets all empty).
 
         Raises:
             ScheduleError: If the loop cannot make progress (an executor
@@ -356,7 +596,7 @@ class OnlineOrchestrator:
         # freed slots admit waiting jobs or the clock jumps to the
         # next arrival.
         progressed |= self._handle_events(self.executor.drain()) > 0
-        if not self._active and self._pending:
+        if not self._active and not self._parked and self._pending:
             next_arrival = self._pending[0].arrival_time
             if next_arrival > self.executor.clock:
                 self.executor.advance(next_arrival)
@@ -387,19 +627,20 @@ class OnlineOrchestrator:
             pass
         return self.finish()
 
-    # -- migration ----------------------------------------------------------
+    # -- migration -----------------------------------------------------------
 
     def eject_job(self, adapter_id: int) -> MigrationTicket:
         """Hand a job off for migration to another replica.
 
-        Pending jobs travel freely; admitted jobs are snapshotted via the
-        executor's ``export_job`` and must sit at an optimizer-step
-        boundary (every scheduled batch stepped), which is exactly the
-        state between two :meth:`step` calls -- in-flight waves are never
-        broken.
+        Pending jobs travel freely; parked (preempted) jobs travel with
+        the state exported at eviction time; admitted jobs are
+        snapshotted via the executor's ``export_job`` and must sit at an
+        optimizer-step boundary (every scheduled batch stepped), which
+        is exactly the state between two :meth:`step` calls -- in-flight
+        waves are never broken.
 
         Args:
-            adapter_id: A pending or active (not finished) job.
+            adapter_id: A pending, parked, or active (not finished) job.
 
         Returns:
             The ticket to pass to another orchestrator's
@@ -418,13 +659,25 @@ class OnlineOrchestrator:
                 )
             payload = self.executor.export_job(adapter_id)
             self.executor.remove_job(adapter_id)
-            self._splicer.retire(adapter_id)
+            # Splicer positions are kept, not retired: a ticket may be
+            # re-injected into THIS orchestrator (checkpoint/restore,
+            # a bounce), and its next batch must still be spaced
+            # against the last one it trained on this stream.  On a
+            # true cross-replica move the entries are simply unused.
             del self._active[adapter_id]
             return MigrationTicket(
                 job=state.serve_job,
                 record=self._records.pop(adapter_id),
                 completed=state.steps_completed,
                 payload=payload,
+            )
+        parked = self._parked.pop(adapter_id, None)
+        if parked is not None:
+            return MigrationTicket(
+                job=parked.serve_job,
+                record=self._records.pop(adapter_id),
+                completed=parked.completed,
+                payload=parked.payload,
             )
         for index, job in enumerate(self._pending):
             if job.adapter_id == adapter_id:
@@ -441,9 +694,9 @@ class OnlineOrchestrator:
         """Accept a migrated job from another replica.
 
         A pending ticket queues like a fresh arrival (keeping its original
-        record, hence its original arrival time); an admitted ticket is
-        restored onto the executor and resumes as an active job at its
-        next global batch.
+        record, hence its original arrival time); a state-carrying ticket
+        (admitted or parked on the source) is restored onto the executor
+        and resumes as an active job at its next global batch.
 
         Args:
             ticket: A ticket from another orchestrator's
@@ -458,9 +711,7 @@ class OnlineOrchestrator:
             raise ScheduleError("inject_job() requires start() first")
         aid = ticket.adapter_id
         if aid in self._records:
-            raise ScheduleError(
-                f"adapter id {aid} already known to this orchestrator"
-            )
+            raise ScheduleError(f"adapter id {aid} already known to this orchestrator")
         if ticket.payload is None:
             self.offer(ticket.job, record=ticket.record)
             return
@@ -481,7 +732,7 @@ class OnlineOrchestrator:
             steps_completed=ticket.completed,
         )
 
-    # -- load introspection (router/rebalancer inputs) ----------------------
+    # -- load introspection (router/rebalancer inputs) -----------------------
 
     @property
     def clock(self) -> float:
@@ -499,6 +750,11 @@ class OnlineOrchestrator:
         return len(self._pending)
 
     @property
+    def num_parked(self) -> int:
+        """Preempted jobs waiting (with exported state) to resume."""
+        return len(self._parked)
+
+    @property
     def slots_free(self) -> int | None:
         """Free adapter slots (``None`` under unbounded admission)."""
         if self._slot_budget is None:
@@ -506,51 +762,65 @@ class OnlineOrchestrator:
         return max(0, self._slot_budget - len(self._active))
 
     def outstanding_batches(self) -> int:
-        """Not-yet-stepped global batches across pending and active jobs.
+        """Not-yet-stepped global batches across all unfinished jobs.
 
         This is the load measure routing and rebalancing compare across
-        replicas: the work this pipeline still owes its tenants.
+        replicas: the work this pipeline still owes its tenants --
+        active, parked, and pending alike.
         """
         active = sum(
             state.num_batches - state.steps_completed
             for state in self._active.values()
         )
+        parked = sum(
+            p.serve_job.job.num_global_batches() - p.completed
+            for p in self._parked.values()
+        )
         pending = sum(job.job.num_global_batches() for job in self._pending)
-        return active + pending
+        return active + parked + pending
 
     def live_mean_lengths(self) -> list[float]:
         """Mean sample length of each active job (packing-affinity input)."""
-        return [
-            state.serve_job.job.mean_length()
-            for state in self._active.values()
-        ]
+        return [state.serve_job.job.mean_length() for state in self._active.values()]
+
+    def live_priorities(self) -> list[int]:
+        """Priority class of each active job (headroom-routing input)."""
+        return [state.serve_job.priority for state in self._active.values()]
 
     def migratable_jobs(self) -> list[tuple[int, int, bool]]:
         """Jobs a rebalancer may move right now.
 
         Returns:
             ``(adapter_id, remaining_batches, is_pending)`` tuples:
-            every pending job, plus every active unfinished job sitting
-            at a wave boundary.
+            every pending job, every parked (preempted) job, plus every
+            active unfinished job sitting at a wave boundary.
         """
         candidates = [
             (job.adapter_id, job.job.num_global_batches(), True)
             for job in self._pending
         ]
+        for aid, parked in self._parked.items():
+            candidates.append(
+                (
+                    aid,
+                    parked.serve_job.job.num_global_batches() - parked.completed,
+                    False,
+                )
+            )
         for aid, state in self._active.items():
             if state.finished or state.steps_completed != state.next_batch:
                 continue
-            candidates.append(
-                (aid, state.num_batches - state.steps_completed, False)
-            )
+            candidates.append((aid, state.num_batches - state.steps_completed, False))
         return candidates
 
-    # -- reporting ----------------------------------------------------------
+    # -- reporting -----------------------------------------------------------
 
     def _result(self) -> OrchestratorResult:
-        violations = find_violations(
-            self.stream, self.config.scheduler.num_stages
-        )
+        if not self.stream:
+            # Zero waves ran (nothing was ever admitted): an empty
+            # result, not a utilization artifact of an idle executor.
+            return OrchestratorResult(records=dict(self._records))
+        violations = find_violations(self.stream, self.config.scheduler.num_stages)
         return OrchestratorResult(
             records=self._records,
             makespan=self.executor.clock,
@@ -561,6 +831,8 @@ class OnlineOrchestrator:
             splice_noops=self._splicer.noops_inserted,
             utilization=self.executor.utilization(),
             violations=len(violations),
+            preemptions=self._preemptions,
+            wave_cuts=self._wave_cuts,
             stats=dict(self._stats),
         )
 

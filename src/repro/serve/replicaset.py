@@ -83,9 +83,7 @@ class ReplicaSet:
         config: Replica-set tunables.
     """
 
-    def __init__(
-        self, executors: list[Executor], config: ReplicaSetConfig
-    ) -> None:
+    def __init__(self, executors: list[Executor], config: ReplicaSetConfig) -> None:
         if not executors:
             raise ScheduleError("a replica set needs at least one executor")
         self.config = config
@@ -114,6 +112,7 @@ class ReplicaSet:
                 num_pending=replica.num_pending,
                 slots_free=replica.slots_free,
                 live_mean_lengths=tuple(replica.live_mean_lengths()),
+                live_priorities=tuple(replica.live_priorities()),
             )
             for index, replica in enumerate(self.replicas)
         ]
@@ -133,9 +132,7 @@ class ReplicaSet:
             ScheduleError: On reuse or duplicate adapter ids.
         """
         if self._ran:
-            raise ScheduleError(
-                "ReplicaSet.run is single-shot; construct a fresh set"
-            )
+            raise ScheduleError("ReplicaSet.run is single-shot; construct a fresh set")
         self._ran = True
         ids = [job.adapter_id for job in workload]
         if len(set(ids)) != len(ids):
@@ -146,9 +143,7 @@ class ReplicaSet:
             sorted(workload, key=lambda job: (job.arrival_time, job.adapter_id))
         )
         while arrivals or any(r.has_work() for r in self.replicas):
-            next_arrival = (
-                arrivals[0].arrival_time if arrivals else math.inf
-            )
+            next_arrival = arrivals[0].arrival_time if arrivals else math.inf
             behind = [
                 replica for replica in self.replicas
                 if replica.has_work() and replica.clock < next_arrival
@@ -199,9 +194,7 @@ class ReplicaSet:
                 return
             self._migrate(adapter_id, source, target)
 
-    def _pick_migration(
-        self, source: int, target: int, skew: int
-    ) -> int | None:
+    def _pick_migration(self, source: int, target: int, skew: int) -> int | None:
         """The job whose move best evens out ``source`` and ``target``.
 
         Only moves that strictly reduce the skew qualify (``0 < remaining

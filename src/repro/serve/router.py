@@ -18,6 +18,10 @@ Three pluggable policies ship:
   gap of the least loaded, prefer the one already serving tenants with
   the most similar mean sample length, so microbatch shapes stay
   groupable and the merge pass keeps finding head-tail pairs.
+* :class:`PriorityHeadroomRouting` -- SLO-aware placement: high-class
+  jobs go to the replica with the most free adapter slots, while
+  best-effort jobs avoid eating a replica's last reserved slots, so a
+  high-class arrival can usually land without waiting (or preempting).
 
 The :class:`TenantRouter` wraps a policy, validates its choices, and
 keeps the adapter-to-replica assignment log that migrations update.
@@ -25,7 +29,8 @@ keeps the adapter-to-replica assignment log that migrations update.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.errors import ScheduleError
@@ -37,6 +42,7 @@ __all__ = [
     "RoundRobinRouting",
     "LeastLoadedRouting",
     "PackingAffinityRouting",
+    "PriorityHeadroomRouting",
     "TenantRouter",
 ]
 
@@ -55,6 +61,8 @@ class ReplicaView:
         slots_free: Free adapter slots (``None`` = unbounded admission).
         live_mean_lengths: Mean sample length of each active job
             (packing-affinity input).
+        live_priorities: Priority class of each active job
+            (headroom-routing input).
     """
 
     index: int
@@ -64,6 +72,7 @@ class ReplicaView:
     num_pending: int
     slots_free: int | None
     live_mean_lengths: tuple[float, ...] = ()
+    live_priorities: tuple[int, ...] = ()
 
 
 @runtime_checkable
@@ -134,6 +143,65 @@ class PackingAffinityRouting:
         best = min(
             eligible,
             key=lambda r: (distance(r), r.outstanding_batches, r.index),
+        )
+        return best.index
+
+
+@dataclass(frozen=True)
+class PriorityHeadroomRouting:
+    """Reserve per-replica slot headroom for high SLO classes.
+
+    High-class jobs (``priority >= high_class``) are placed where the
+    most adapter slots are free (then least loaded), so they start
+    immediately instead of queueing or preempting.  Best-effort jobs
+    prefer replicas with free slots beyond the ``reserve`` (taking one
+    still leaves at least the reserve), and among those the replica
+    serving the fewest high-class tenants
+    (:attr:`ReplicaView.live_priorities`) -- the one where a preemptive
+    policy is least likely to evict them.  Only when every replica is
+    down to its reserve do they fall back to plain least-loaded
+    placement: the reserve is headroom, not a hard partition, so
+    low-class work is never unroutable.
+
+    Attributes:
+        high_class: Priority at or above which a job is "high class".
+        reserve: Free slots per replica kept for high-class arrivals.
+    """
+
+    high_class: int = 1
+    reserve: int = 1
+
+    def __post_init__(self) -> None:
+        if self.reserve < 0:
+            raise ScheduleError("reserve must be non-negative")
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the replica respecting the high-class headroom."""
+        if job.priority >= self.high_class:
+            best = min(
+                replicas,
+                key=lambda r: (
+                    -math.inf if r.slots_free is None else -r.slots_free,
+                    r.outstanding_batches,
+                    r.index,
+                ),
+            )
+            return best.index
+        roomy = [
+            r
+            for r in replicas
+            if r.slots_free is None or r.slots_free > self.reserve
+        ]
+        if not roomy:
+            best = min(replicas, key=lambda r: (r.outstanding_batches, r.index))
+            return best.index
+
+        def high_actives(view: ReplicaView) -> int:
+            return sum(1 for p in view.live_priorities if p >= self.high_class)
+
+        best = min(
+            roomy,
+            key=lambda r: (high_actives(r), r.outstanding_batches, r.index),
         )
         return best.index
 

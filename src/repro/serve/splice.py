@@ -62,3 +62,29 @@ class StreamSplicer:
         """Drop a finished adapter's position bookkeeping."""
         for key in [k for k in self._last_position if k[0] == adapter_id]:
             del self._last_position[key]
+
+    def truncate(self, length: int) -> None:
+        """Resynchronize after a spliced window was cut short.
+
+        Mid-wave admission may abandon the tail of a window whose
+        microbatches this splicer already spaced: the stream actually
+        submitted is a strict prefix of what :meth:`splice` returned.
+        Positions recorded at or past the cut are phantoms -- the cut
+        point is always a whole-global-batch boundary, so no key has
+        real work before the cut and phantom work after it -- and
+        keeping them would make the next junction under-space the real
+        stream.  Forget them and rewind the stream length; the abandoned
+        batches are rescheduled by a later wave like fresh work.
+
+        Args:
+            length: The number of microbatches actually submitted (the
+                real stream length); must not exceed :attr:`length`.
+        """
+        if length > self.length:
+            raise ValueError(
+                f"cannot truncate to {length}: only {self.length} "
+                "microbatches were ever spliced"
+            )
+        for key in [k for k, pos in self._last_position.items() if pos >= length]:
+            del self._last_position[key]
+        self.length = length

@@ -5,7 +5,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
 
-from check_docs_links import broken_links, doc_files  # noqa: E402
+from check_docs_links import (  # noqa: E402
+    broken_links,
+    doc_files,
+    heading_anchors,
+    slugify,
+)
 
 
 def test_docs_exist():
@@ -22,3 +27,56 @@ def test_no_broken_intra_repo_links():
         if broken_links(path)
     }
     assert problems == {}
+
+
+class TestSlugs:
+    def test_github_slug_rules(self):
+        assert slugify("SLO & fairness") == "slo--fairness"
+        assert slugify("One pipeline: `OnlineOrchestrator`") == (
+            "one-pipeline-onlineorchestrator"
+        )
+        assert slugify("Window sizing") == "window-sizing"
+
+    def test_heading_anchors_includes_duplicate_suffixes(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Setup\n\n## Setup\n\ntext\n")
+        assert heading_anchors(doc) == {"setup", "setup-1"}
+
+    def test_headings_inside_fences_are_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```sh\n# not a heading\n```\n\n# Real\n")
+        assert heading_anchors(doc) == {"real"}
+
+
+class TestAnchorChecking:
+    def test_valid_cross_file_anchor(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Guide\n\n## Deep Dive\n")
+        source = tmp_path / "source.md"
+        source.write_text("[see](target.md#deep-dive)\n")
+        assert broken_links(source) == []
+
+    def test_dangling_cross_file_anchor_flagged(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Guide\n")
+        source = tmp_path / "source.md"
+        source.write_text("[see](target.md#missing-section)\n")
+        problems = broken_links(source)
+        assert len(problems) == 1
+        assert "dangling anchor" in problems[0][1]
+
+    def test_in_page_anchor_checked(self, tmp_path):
+        source = tmp_path / "source.md"
+        source.write_text("# Top\n\n[up](#top)\n[nowhere](#absent)\n")
+        problems = broken_links(source)
+        assert [t for t, _ in problems] == ["#absent"]
+
+    def test_missing_file_still_flagged(self, tmp_path):
+        source = tmp_path / "source.md"
+        source.write_text("[gone](nope.md#any)\n")
+        problems = broken_links(source)
+        assert "missing file" in problems[0][1]
+
+    def test_non_markdown_targets_skip_anchor_check(self, tmp_path):
+        (tmp_path / "script.py").write_text("x = 1\n")
+        source = tmp_path / "source.md"
+        source.write_text("[code](script.py#L1)\n")
+        assert broken_links(source) == []

@@ -1,0 +1,163 @@
+"""Preemption losslessness: evict, park, resume -- still bit-identical.
+
+The SLO acceptance bar: a best-effort job that loses its adapter slot to
+a high-class arrival mid-training (state exported at an optimizer-step
+boundary and parked on the orchestrator) and later resumes must finish
+with final adapter weights **identical (atol=0)** to an uninterrupted
+run -- which ``test_online_losslessness.py`` already pins to sequential
+solo training.  Preemption reuses the migration export/import machinery,
+so this is the same guarantee exercised through the ordering policy's
+eviction path instead of the rebalancer's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import train_job_sequentially
+from repro.core.lora import LoRAConfig
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.models import TINY, TinyLoRATransformer
+from repro.runtime import MultiLoRAEngine, NumericJob
+from repro.scheduler import AdapterJob, SchedulerConfig, find_violations
+from repro.serve import (
+    NumericExecutor,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    PriorityOrdering,
+    ServeJob,
+    SlotAdmission,
+)
+
+MODEL_SEED = 17
+
+
+def make_serve_job(rng, adapter_id, rank, num_samples, gbs, arrival,
+                   priority=0):
+    streams = [
+        rng.integers(0, TINY.vocab_size, int(rng.integers(6, 16)))
+        for _ in range(num_samples)
+    ]
+    numeric = NumericJob(
+        adapter_id=adapter_id,
+        lora=LoRAConfig(rank=rank, alpha=1.0, dropout=0.0,
+                        adapter_id=adapter_id),
+        token_streams=streams,
+        global_batch_size=gbs,
+    )
+    dataset = FinetuneDataset(
+        adapter_id,
+        [Sample(adapter_id, i, len(t)) for i, t in enumerate(streams)],
+    )
+    return ServeJob(
+        job=AdapterJob(adapter_id, dataset, gbs),
+        arrival_time=arrival,
+        numeric=numeric,
+        priority=priority,
+    )
+
+
+def preemption_workload():
+    """A long best-effort tenant, then a short high-class arrival.
+
+    One adapter slot: admitting the high-class job forces the policy to
+    evict the long tenant mid-training, park its exported state, and
+    resume it after the high-class job retires.
+    """
+    rng = np.random.default_rng(3)
+    return [
+        make_serve_job(rng, 0, 2, 12, 2, arrival=0.0, priority=0),
+        make_serve_job(rng, 1, 3, 4, 2, arrival=1.0, priority=1),
+    ]
+
+
+class TestPreemptionLosslessness:
+    @pytest.fixture(scope="class")
+    def served(self):
+        workload = preemption_workload()
+        model = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+        engine = MultiLoRAEngine(model, exact_accumulation=True)
+        config = OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=64, padding_multiple=1,
+                                      num_stages=2, use_milp=False,
+                                      group_size=2),
+            window_batches=1,
+            admission=SlotAdmission(1),
+            ordering=PriorityOrdering(),
+            mid_wave_admission=True,
+        )
+        orchestrator = OnlineOrchestrator(NumericExecutor(engine), config)
+        result = orchestrator.run(workload)
+        return workload, model, engine, orchestrator, result
+
+    def test_a_preemption_actually_happened(self, served):
+        _, _, _, _, result = served
+        assert result.preemptions >= 1
+        probe = result.records[0]
+        assert probe.preemptions >= 1
+        assert probe.finish_time is not None
+
+    def test_high_class_job_was_never_evicted(self, served):
+        _, _, _, _, result = served
+        assert result.records[1].preemptions == 0
+
+    def test_stream_stays_bubble_safe(self, served):
+        _, _, _, orchestrator, result = served
+        assert result.violations == 0
+        assert find_violations(orchestrator.stream, 2) == []
+
+    def test_every_sample_trained_exactly_once(self, served):
+        workload, _, _, orchestrator, _ = served
+        for job in workload:
+            seen = sorted(
+                a.sample.index
+                for mb in orchestrator.stream
+                for a in mb.assignments
+                if a.adapter_id == job.adapter_id
+            )
+            assert seen == list(range(len(job.job.dataset)))
+
+    def test_preempted_job_weights_bit_identical_to_sequential(self, served):
+        workload, model, _, _, result = served
+        for serve_job in workload:
+            reference = TinyLoRATransformer(
+                TINY, np.random.default_rng(MODEL_SEED)
+            )
+            train_job_sequentially(reference, serve_job.numeric)
+            online = model.adapter_state(serve_job.adapter_id)
+            solo = reference.adapter_state(serve_job.adapter_id)
+            for key in online:
+                np.testing.assert_array_equal(online[key].a, solo[key].a)
+                np.testing.assert_array_equal(online[key].b, solo[key].b)
+
+    def test_loss_history_survives_the_park(self, served):
+        workload, _, engine, _, _ = served
+        probe = workload[0]
+        reference = TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED))
+        solo = train_job_sequentially(reference, probe.numeric)
+        assert engine.losses(0) == solo.losses[0]
+        assert engine.steps_done(0) == probe.numeric.num_global_batches()
+
+
+class TestStaleResumeGuard:
+    def test_engine_rejects_snapshot_regression(self):
+        # Resume-after-preemption bookkeeping: an old snapshot must not
+        # silently rewind an adapter the engine already advanced.
+        rng = np.random.default_rng(4)
+        serve_job = make_serve_job(rng, 0, 2, 8, 2, arrival=0.0)
+        engine = MultiLoRAEngine(
+            TinyLoRATransformer(TINY, np.random.default_rng(MODEL_SEED)),
+            exact_accumulation=True,
+        )
+        engine.add_job(serve_job.numeric)
+        from repro.errors import ScheduleError
+        from repro.scheduler import Assignment, Microbatch
+
+        stale = engine.export_job_state(0)
+        for batch in range(2):
+            mb = Microbatch(capacity=64, padding_multiple=1)
+            for index in serve_job.numeric.batch_indices(batch):
+                mb.add(Assignment(Sample(0, index, 1), batch))
+            engine.submit(mb)
+        engine.remove_job(0)
+        with pytest.raises(ScheduleError, match="stale"):
+            engine.import_job_state(serve_job.numeric, stale)

@@ -1,0 +1,107 @@
+"""Tests for per-job records and the per-class / SLO aggregates."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.serve import JobRecord, OrchestratorResult, ReplicaSetResult
+
+
+def record(aid, arrival=0.0, admit=None, finish=None, priority=0,
+           deadline=None, preemptions=0):
+    return JobRecord(
+        adapter_id=aid,
+        arrival_time=arrival,
+        admit_time=admit,
+        finish_time=finish,
+        priority=priority,
+        deadline=deadline,
+        preemptions=preemptions,
+    )
+
+
+class TestJobRecordSLO:
+    def test_deadline_missed_without_deadline_is_none(self):
+        assert record(0, finish=5.0).deadline_missed is None
+
+    def test_deadline_met(self):
+        assert record(0, finish=5.0, deadline=6.0).deadline_missed is False
+
+    def test_deadline_blown(self):
+        assert record(0, finish=7.0, deadline=6.0).deadline_missed is True
+
+    def test_unfinished_with_deadline_counts_as_miss(self):
+        assert record(0, deadline=6.0).deadline_missed is True
+
+
+class TestPerClassAggregates:
+    def result(self):
+        records = {
+            0: record(0, arrival=0.0, admit=0.0, finish=10.0, priority=0),
+            1: record(1, arrival=0.0, admit=4.0, finish=6.0, priority=1,
+                      preemptions=0),
+            2: record(2, arrival=2.0, admit=2.0, finish=4.0, priority=1,
+                      deadline=5.0),
+            3: record(3, arrival=0.0, admit=6.0, finish=20.0, priority=0,
+                      deadline=8.0, preemptions=2),
+        }
+        return OrchestratorResult(records=records, makespan=20.0,
+                                  total_tokens=100)
+
+    def test_mean_jct_per_class(self):
+        result = self.result()
+        assert result.mean_completion_time(priority=1) == pytest.approx(4.0)
+        assert result.mean_completion_time(priority=0) == pytest.approx(15.0)
+        # The unfiltered mean is unchanged by the filter's existence.
+        assert result.mean_completion_time() == pytest.approx(
+            (10.0 + 6.0 + 2.0 + 20.0) / 4
+        )
+
+    def test_jct_by_class_orders_most_urgent_first(self):
+        by_class = self.result().jct_by_class()
+        assert list(by_class) == [1, 0]
+        assert by_class[1] == pytest.approx(4.0)
+
+    def test_queueing_per_class(self):
+        result = self.result()
+        assert result.mean_queueing_delay(priority=1) == pytest.approx(2.0)
+        assert result.mean_queueing_delay(priority=0) == pytest.approx(3.0)
+        assert result.queueing_by_class()[0] == pytest.approx(3.0)
+
+    def test_total_preemptions(self):
+        assert self.result().total_preemptions() == 2
+
+    def test_deadline_miss_rate_counts_only_deadline_jobs(self):
+        result = self.result()
+        # Two jobs carry deadlines; job 3 (finish 20 > 8) missed.
+        assert result.deadline_misses() == 1
+        assert result.deadline_miss_rate() == pytest.approx(0.5)
+
+    def test_miss_rate_without_deadlines_is_zero(self):
+        result = OrchestratorResult(records={0: record(0, finish=1.0)})
+        assert result.deadline_miss_rate() == 0.0
+
+
+class TestReplicaSetAggregates:
+    def test_preemptions_sum_over_replicas(self):
+        replicas = [
+            OrchestratorResult(preemptions=2, makespan=1.0),
+            OrchestratorResult(preemptions=1, makespan=1.0),
+        ]
+        result = ReplicaSetResult(replicas=replicas)
+        assert result.preemptions == 3
+
+    def test_per_class_views_work_on_merged_records(self):
+        records = {
+            0: record(0, arrival=0.0, finish=4.0, priority=1),
+            1: record(1, arrival=0.0, finish=8.0, priority=0),
+        }
+        result = ReplicaSetResult(
+            replicas=[OrchestratorResult(makespan=8.0)], records=records
+        )
+        assert result.mean_completion_time(priority=1) == pytest.approx(4.0)
+        assert result.jct_by_class() == {1: pytest.approx(4.0),
+                                         0: pytest.approx(8.0)}
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ScheduleError, match="replica"):
+            ReplicaSetResult(replicas=[])

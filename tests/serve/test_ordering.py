@@ -1,0 +1,128 @@
+"""Tests for the slot-candidate ordering policies."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.serve import (
+    DeadlineOrdering,
+    FCFSOrdering,
+    JobView,
+    OrderingPolicy,
+    PriorityOrdering,
+    ServeJob,
+    SRPTOrdering,
+)
+from repro.serve.ordering import validate_policy
+
+
+def view(aid, arrival=0.0, priority=0, deadline=None, remaining=4,
+         admitted=False):
+    return JobView(
+        adapter_id=aid,
+        arrival_time=arrival,
+        priority=priority,
+        deadline=deadline,
+        remaining_batches=remaining,
+        admitted=admitted,
+    )
+
+
+def ranked(policy, views, now=0.0):
+    return [v.adapter_id for v in sorted(views, key=lambda v: policy.key(v, now))]
+
+
+class TestFCFS:
+    def test_ranks_by_arrival(self):
+        views = [view(0, arrival=2.0), view(1, arrival=0.5), view(2, arrival=1.0)]
+        assert ranked(FCFSOrdering(), views) == [1, 2, 0]
+
+    def test_adapter_id_breaks_ties(self):
+        views = [view(3, arrival=1.0), view(1, arrival=1.0)]
+        assert ranked(FCFSOrdering(), views) == [1, 3]
+
+    def test_never_preemptive(self):
+        assert FCFSOrdering().preemptive is False
+
+
+class TestSRPT:
+    def test_ranks_by_remaining_batches(self):
+        views = [view(0, remaining=9), view(1, remaining=1), view(2, remaining=4)]
+        assert ranked(SRPTOrdering(), views) == [1, 2, 0]
+
+    def test_banked_progress_counts(self):
+        # A preempted job with 2 of 10 batches left outranks a fresh
+        # 5-batch arrival: SRPT is remaining work, not total size.
+        views = [view(0, remaining=5), view(1, remaining=2)]
+        assert ranked(SRPTOrdering(), views) == [1, 0]
+
+    def test_arrival_breaks_ties(self):
+        views = [view(0, arrival=1.0, remaining=3), view(1, arrival=0.0, remaining=3)]
+        assert ranked(SRPTOrdering(), views) == [1, 0]
+
+    def test_preemption_is_opt_in(self):
+        assert SRPTOrdering().preemptive is False
+        assert SRPTOrdering(preemptive=True).preemptive is True
+
+
+class TestPriority:
+    def test_higher_class_first(self):
+        views = [view(0, priority=0), view(1, priority=2), view(2, priority=1)]
+        assert ranked(PriorityOrdering(), views) == [1, 2, 0]
+
+    def test_fcfs_within_class(self):
+        views = [
+            view(0, arrival=2.0, priority=1),
+            view(1, arrival=1.0, priority=1),
+        ]
+        assert ranked(PriorityOrdering(), views) == [1, 0]
+
+    def test_preemptive_by_default(self):
+        assert PriorityOrdering().preemptive is True
+
+
+class TestDeadline:
+    def test_earliest_deadline_first(self):
+        views = [view(0, deadline=9.0), view(1, deadline=3.0), view(2, deadline=6.0)]
+        assert ranked(DeadlineOrdering(), views) == [1, 2, 0]
+
+    def test_no_deadline_ranks_last(self):
+        views = [view(0, deadline=None), view(1, deadline=100.0)]
+        assert ranked(DeadlineOrdering(), views) == [1, 0]
+
+    def test_preemptive_by_default(self):
+        assert DeadlineOrdering().preemptive is True
+
+
+class TestProtocol:
+    def test_all_shipped_policies_conform(self):
+        for policy in (FCFSOrdering(), SRPTOrdering(), PriorityOrdering(),
+                       DeadlineOrdering()):
+            assert isinstance(policy, OrderingPolicy)
+            assert validate_policy(policy) is policy
+
+    def test_validate_rejects_non_policies(self):
+        with pytest.raises(ScheduleError, match="OrderingPolicy"):
+            validate_policy(object())
+
+
+class TestServeJobSLOFields:
+    def test_defaults_are_best_effort(self, tiny_serve_job):
+        assert tiny_serve_job.priority == 0
+        assert tiny_serve_job.deadline is None
+
+    def test_deadline_before_arrival_rejected(self, tiny_serve_job):
+        from dataclasses import replace
+
+        with pytest.raises(ScheduleError, match="deadline"):
+            replace(tiny_serve_job, arrival_time=5.0, deadline=5.0)
+
+
+@pytest.fixture
+def tiny_serve_job():
+    from repro.data import synthetic_dataset
+    from repro.scheduler import AdapterJob
+
+    return ServeJob(
+        job=AdapterJob(0, synthetic_dataset(0, "xsum", 8, seed=1), 4),
+        arrival_time=0.0,
+    )

@@ -142,3 +142,92 @@ class TestTenantRouter:
             index = router.route(job, views)
             assert index in (0, 1)
         assert len(router.assignments) == 3
+
+
+class TestPriorityHeadroom:
+    def high(self, adapter_id=9):
+        from dataclasses import replace
+
+        return replace(make_job(adapter_id), priority=2)
+
+    def test_high_class_goes_to_most_free_slots(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1)
+        replicas = [
+            view(0, load=0, slots_free=1),
+            view(1, load=9, slots_free=3),
+        ]
+        assert policy.choose(self.high(), replicas) == 1
+
+    def test_high_class_prefers_unbounded_admission(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1)
+        replicas = [view(0, slots_free=4), view(1, slots_free=None)]
+        assert policy.choose(self.high(), replicas) == 1
+
+    def test_best_effort_avoids_the_reserve(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1, reserve=1)
+        # Replica 0 is less loaded but down to its reserved slot.
+        replicas = [
+            view(0, load=1, slots_free=1),
+            view(1, load=5, slots_free=3),
+        ]
+        assert policy.choose(make_job(), replicas) == 1
+
+    def test_reserve_is_headroom_not_a_partition(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1, reserve=2)
+        # Every replica is at (or under) the reserve: fall back to
+        # least-loaded rather than refusing to route.
+        replicas = [
+            view(0, load=7, slots_free=1),
+            view(1, load=3, slots_free=2),
+        ]
+        assert policy.choose(make_job(), replicas) == 1
+
+    def test_fallback_is_plain_least_loaded(self):
+        from dataclasses import replace
+
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1, reserve=2)
+        # All replicas at/under the reserve: load decides, not
+        # high-class pressure -- the documented fallback.
+        replicas = [
+            replace(view(0, load=1, slots_free=1), live_priorities=(2,)),
+            replace(view(1, load=40, slots_free=2), live_priorities=()),
+        ]
+        assert policy.choose(make_job(), replicas) == 0
+
+    def test_best_effort_avoids_high_class_pressure(self):
+        from dataclasses import replace
+
+        from repro.serve import PriorityHeadroomRouting
+
+        policy = PriorityHeadroomRouting(high_class=1, reserve=0)
+        # Equal load and room everywhere: the replica with no high-class
+        # tenants is the one where a best-effort job won't be preempted.
+        replicas = [
+            replace(view(0, load=4, slots_free=3), live_priorities=(2, 1)),
+            replace(view(1, load=4, slots_free=3), live_priorities=(0, 0)),
+        ]
+        assert policy.choose(make_job(), replicas) == 1
+
+    def test_negative_reserve_rejected(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        with pytest.raises(ScheduleError, match="reserve"):
+            PriorityHeadroomRouting(reserve=-1)
+
+    def test_is_a_routing_policy(self):
+        from repro.serve import PriorityHeadroomRouting
+
+        assert isinstance(PriorityHeadroomRouting(), RoutingPolicy)
+
+    def test_view_exposes_live_priorities(self):
+        assert view(0).live_priorities == ()

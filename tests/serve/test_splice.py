@@ -66,3 +66,35 @@ class TestStreamSplicer:
         assert splicer.length == 2
         out = splicer.splice([mb(0, 1, 1)])
         assert splicer.length == 2 + len(out)
+
+    def test_truncate_forgets_phantom_positions(self):
+        # A wave cut short: positions recorded past the cut must not
+        # constrain (or under-constrain) the next junction.
+        stages = 4
+        splicer = StreamSplicer(num_stages=stages)
+        window = splicer.splice([mb(0, 0, 0), mb(1, 0, 0), mb(1, 1, 1)])
+        # Only the first microbatch was actually submitted.
+        splicer.truncate(1)
+        assert splicer.length == 1
+        # Adapter 1 was never really emitted; re-splicing its batches
+        # must still space batch 1 against batch 0 at the *real*
+        # positions.
+        resumed = splicer.splice([mb(1, 0, 0), mb(1, 1, 1)])
+        stream = window[:1] + resumed
+        assert find_violations(stream, stages) == []
+
+    def test_truncate_keeps_real_prefix_positions(self):
+        stages = 2
+        splicer = StreamSplicer(num_stages=stages)
+        first = splicer.splice([mb(0, 0, 0), mb(0, 1, 1)])
+        splicer.truncate(len(first))  # no-op cut at the window end
+        second = splicer.splice([mb(0, 2, 2)])
+        assert find_violations(first + second, stages) == []
+
+    def test_truncate_beyond_length_rejected(self):
+        import pytest
+
+        splicer = StreamSplicer(num_stages=2)
+        splicer.splice([mb(0, 0, 0)])
+        with pytest.raises(ValueError, match="truncate"):
+            splicer.truncate(5)
