@@ -65,7 +65,22 @@ class FinetuneDataset:
 
     def mean_length(self) -> float:
         """Average sample length (used by head-tail adapter grouping)."""
-        return float(self.lengths.mean())
+        return self.length_moments()[0]
+
+    def length_moments(self) -> tuple[float, float]:
+        """``(mean, mean square)`` sample length, computed once.
+
+        The serving layer's cost estimator prices jobs from these
+        moments on every routing/admission/ordering decision; samples
+        never change after construction, so they are cached on first
+        use.
+        """
+        cached = self.__dict__.get("_length_moments")
+        if cached is None:
+            lengths = self.lengths.astype(float)
+            cached = (float(lengths.mean()), float((lengths**2).mean()))
+            self.__dict__["_length_moments"] = cached
+        return cached
 
     def total_tokens(self) -> int:
         """Total token count of the dataset."""

@@ -13,6 +13,15 @@ losslessly (state exported at an optimizer-step boundary, parked, and
 resumed bit-identically), and ``mid_wave_admission`` lets an urgent
 arrival cut the running wave instead of waiting for its boundary.
 
+The control plane is cost-model-driven: a :class:`CostEstimator`
+(:mod:`repro.serve.costing`) prices jobs, placements, and planning
+waves in expected seconds, so routing (:class:`CostAwareRouting`),
+ordering (time-based SRPT, least-laxity EDF, aging bounds), admission
+(:class:`DeadlineFeasibilityAdmission` sheds deadline-infeasible
+arrivals into the terminal ``rejected`` state), and window sizing
+(:class:`AdaptiveWindowConfig`) act on time, not batch counts -- with
+per-wave predicted/observed calibration recorded in the result.
+
 Two deployment shapes ship.  A single pipeline is an
 :class:`OnlineOrchestrator` over one :class:`Executor`.  Scale-out is a
 :class:`ReplicaSet`: N independent orchestrators, a :class:`TenantRouter`
@@ -25,16 +34,23 @@ See ``docs/architecture.md`` for the module map and ``docs/serving.md``
 for the operator-facing guide (including the SLO & fairness section).
 """
 
-from repro.serve.admission import AdmissionPolicy, MemoryAdmission, SlotAdmission
+from repro.serve.admission import (
+    AdmissionPolicy,
+    DeadlineFeasibilityAdmission,
+    MemoryAdmission,
+    SlotAdmission,
+)
+from repro.serve.costing import CALIBRATION_TOLERANCE, CostEstimator, TenantProfile
 from repro.serve.executors import (
     Executor,
     NumericExecutor,
     StepEvent,
     StreamingSimExecutor,
 )
-from repro.serve.jobs import ServeJob, poisson_workload
+from repro.serve.jobs import JobOutcome, ServeJob, poisson_workload
 from repro.serve.metrics import JobRecord, OrchestratorResult, ReplicaSetResult
 from repro.serve.orchestrator import (
+    AdaptiveWindowConfig,
     MigrationTicket,
     OnlineOrchestrator,
     OrchestratorConfig,
@@ -49,6 +65,7 @@ from repro.serve.ordering import (
 )
 from repro.serve.replicaset import ReplicaSet, ReplicaSetConfig
 from repro.serve.router import (
+    CostAwareRouting,
     LeastLoadedRouting,
     PackingAffinityRouting,
     PriorityHeadroomRouting,
@@ -60,10 +77,16 @@ from repro.serve.router import (
 from repro.serve.splice import StreamSplicer
 
 __all__ = [
+    "AdaptiveWindowConfig",
     "AdmissionPolicy",
+    "CALIBRATION_TOLERANCE",
+    "CostAwareRouting",
+    "CostEstimator",
+    "DeadlineFeasibilityAdmission",
     "DeadlineOrdering",
     "Executor",
     "FCFSOrdering",
+    "JobOutcome",
     "JobRecord",
     "JobView",
     "LeastLoadedRouting",
@@ -89,6 +112,7 @@ __all__ = [
     "StepEvent",
     "StreamSplicer",
     "StreamingSimExecutor",
+    "TenantProfile",
     "TenantRouter",
     "poisson_workload",
 ]

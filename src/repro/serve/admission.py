@@ -1,4 +1,5 @@
-"""Admission control: how many adapters may train concurrently.
+"""Admission control: how many adapters may train concurrently -- and
+whether an arrival should be admitted at all.
 
 Every live adapter costs optimizer/accumulator state on the training
 devices (Section 2.1's ``32r(n+k)``-byte model states, times the 16-byte
@@ -8,6 +9,15 @@ explicit slot count; :class:`MemoryAdmission` derives it from the
 :mod:`repro.distsim.memory` model -- the largest adapter count whose peak
 memory estimate still fits the device with the pipeline's worst-case
 tokens in flight.
+
+:class:`DeadlineFeasibilityAdmission` adds the *whether* dimension: EDF
+orders the queue but never refuses, so an arrival whose deadline is
+already infeasible still takes a slot and burns pipeline time on work
+that cannot succeed.  The gate compares each due deadline-carrying
+candidate's expected remaining service time (priced by the
+orchestrator's :class:`~repro.serve.costing.CostEstimator`) against its
+time-to-deadline and sheds the doomed ones into the distinct
+``rejected`` terminal state (:class:`~repro.serve.jobs.JobOutcome`).
 """
 
 from __future__ import annotations
@@ -19,8 +29,14 @@ from repro.distsim.memory import estimate_memory, fits_on_gpu
 from repro.errors import ScheduleError
 from repro.gpu.specs import GPUSpec
 from repro.models.config import ModelConfig
+from repro.serve.ordering import JobView
 
-__all__ = ["AdmissionPolicy", "SlotAdmission", "MemoryAdmission"]
+__all__ = [
+    "AdmissionPolicy",
+    "SlotAdmission",
+    "MemoryAdmission",
+    "DeadlineFeasibilityAdmission",
+]
 
 #: Upper bound on the adapter-slot search (beyond this, adapter states are
 #: never the binding constraint in practice).
@@ -114,3 +130,53 @@ class MemoryAdmission:
             else:
                 hi = mid
         return lo
+
+
+@dataclass(frozen=True)
+class DeadlineFeasibilityAdmission:
+    """A slot budget plus a deadline-feasibility gate.
+
+    Wraps an inner slot policy (the *how many* decision is unchanged)
+    and adds :meth:`feasible`, which the orchestrator consults for every
+    due deadline-carrying candidate: an arrival whose expected remaining
+    service time -- priced in seconds by the orchestrator's
+    :class:`~repro.serve.costing.CostEstimator` -- no longer fits its
+    time-to-deadline is shed immediately (terminal ``rejected`` state)
+    instead of occupying a slot it cannot use.
+
+    The estimate is *service* time only: it ignores queueing for a slot
+    and pipeline sharing with other tenants, so it is optimistic and the
+    gate only sheds certainly-doomed work.  Raise ``slack`` above 1.0 to
+    shed earlier (a job is rejected once ``slack * remaining_seconds``
+    exceeds its time-to-deadline); the orchestrator re-evaluates waiting
+    candidates every admission pass, so a job that becomes infeasible
+    *while queueing* is shed then, not served late.
+
+    Attributes:
+        slots: Inner slot policy (the concurrency budget).
+        slack: Safety multiplier on the remaining-time estimate
+            (>= how much of the estimate must fit; 1.0 = shed only
+            provably-late arrivals under the optimistic estimate).
+    """
+
+    slots: AdmissionPolicy
+    slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slack <= 0:
+            raise ScheduleError("slack must be positive")
+
+    def max_concurrent(self) -> int:
+        """Delegate the concurrency budget to the inner policy."""
+        return self.slots.max_concurrent()
+
+    def feasible(self, view: JobView, now: float) -> bool:
+        """Whether ``view`` can still meet its deadline, optimistically.
+
+        Deadline-free candidates are always feasible; so are unpriced
+        ones (no estimator stamped ``remaining_seconds``), because the
+        gate refuses to shed on a quantity it cannot measure.
+        """
+        if view.deadline is None or view.remaining_seconds is None:
+            return True
+        return now + self.slack * view.remaining_seconds <= view.deadline

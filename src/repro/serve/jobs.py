@@ -8,6 +8,7 @@ the :class:`~repro.runtime.engine.NumericJob` holding real token arrays.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +18,28 @@ from repro.errors import ScheduleError
 from repro.runtime.engine import NumericJob
 from repro.scheduler.types import AdapterJob
 
-__all__ = ["ServeJob", "poisson_workload"]
+__all__ = ["JobOutcome", "ServeJob", "poisson_workload"]
+
+
+class JobOutcome(enum.Enum):
+    """Terminal (or so-far) state of a served job.
+
+    ``REJECTED`` is the distinct terminal state deadline-feasibility
+    admission produces: the arrival was shed because its expected
+    remaining time already exceeded its time-to-deadline, so it never
+    held a slot and never trains.  It is deliberately not a deadline
+    *miss* -- metrics count the two separately
+    (:meth:`~repro.serve.metrics._LatencyAggregates.rejections` vs
+    :meth:`~repro.serve.metrics._LatencyAggregates.deadline_misses`)
+    so shedding cannot masquerade as latency improvement.
+    """
+
+    #: Still pending, parked, or training when the result was cut.
+    UNFINISHED = "unfinished"
+    #: Last optimizer step completed.
+    FINISHED = "finished"
+    #: Shed by deadline-feasibility admission; never admitted.
+    REJECTED = "rejected"
 
 
 @dataclass(frozen=True)

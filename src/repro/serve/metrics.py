@@ -10,13 +10,25 @@ With SLO-aware ordering (:mod:`repro.serve.ordering`) the records also
 carry each job's priority class, deadline, and preemption count, and the
 aggregates slice by class: per-class JCT and queueing, total
 preemptions, and the deadline-miss rate.
+
+With a cost estimator (:mod:`repro.serve.costing`) two more signals
+appear.  Deadline-feasibility admission can *reject* a doomed arrival --
+a distinct terminal state (:attr:`JobRecord.outcome` =
+:attr:`~repro.serve.jobs.JobOutcome.REJECTED`), counted separately from
+misses so shedding is visible, not laundered into better-looking
+latency.  And every planning wave records an estimate-vs-actual pair
+(:attr:`OrchestratorResult.wave_estimates`), making the estimator's
+calibration a first-class, gateable metric
+(:meth:`OrchestratorResult.calibration_ratio`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ScheduleError
+from repro.serve.jobs import JobOutcome
 
 __all__ = ["JobRecord", "OrchestratorResult", "ReplicaSetResult"]
 
@@ -45,6 +57,9 @@ class JobRecord:
             (``None`` = no deadline).
         preemptions: Times an ordering policy evicted the job from its
             adapter slot mid-training (each one lossless).
+        rejected_time: Virtual time deadline-feasibility admission shed
+            the job (``None`` = never rejected).  Rejection is terminal:
+            the job was never admitted and never trains.
     """
 
     adapter_id: int
@@ -59,6 +74,16 @@ class JobRecord:
     priority: int = 0
     deadline: float | None = None
     preemptions: int = 0
+    rejected_time: float | None = None
+
+    @property
+    def outcome(self) -> JobOutcome:
+        """The job's terminal (or so-far) state."""
+        if self.rejected_time is not None:
+            return JobOutcome.REJECTED
+        if self.finish_time is not None:
+            return JobOutcome.FINISHED
+        return JobOutcome.UNFINISHED
 
     @property
     def queueing_delay(self) -> float | None:
@@ -137,8 +162,17 @@ class _LatencyAggregates:
         """Slot evictions across all jobs (each one losslessly resumed)."""
         return sum(r.preemptions for r in self.records.values())
 
+    def rejections(self) -> int:
+        """Arrivals shed by deadline-feasibility admission (terminal)."""
+        rejected = JobOutcome.REJECTED
+        return sum(1 for r in self.records.values() if r.outcome is rejected)
+
     def deadline_misses(self) -> int:
-        """Deadline-carrying jobs that finished late (or not at all)."""
+        """Deadline-carrying jobs that finished late (or not at all).
+
+        A rejected job counts: it carries a deadline it will never meet.
+        Use :meth:`served_deadline_miss_rate` for the served-only view.
+        """
         return sum(1 for r in self.records.values() if r.deadline_missed is True)
 
     def deadline_miss_rate(self) -> float:
@@ -147,6 +181,33 @@ class _LatencyAggregates:
         if not carrying:
             return 0.0
         return self.deadline_misses() / len(carrying)
+
+    def served_deadline_miss_rate(self) -> float:
+        """Missed fraction among deadline-carrying jobs actually served.
+
+        Excludes rejected arrivals: shedding a doomed job is a refusal,
+        not a miss, and the operator promise behind feasibility gating
+        is that the jobs we *do* serve meet their deadlines.  Compare
+        with :meth:`deadline_miss_rate` (which charges rejections) to
+        see both sides of the trade.
+        """
+        served = [
+            r
+            for r in self.records.values()
+            if r.deadline is not None and r.outcome is not JobOutcome.REJECTED
+        ]
+        if not served:
+            return 0.0
+        misses = sum(1 for r in served if r.deadline_missed is True)
+        return misses / len(served)
+
+    def deadline_goodput(self) -> int:
+        """Deadline-carrying jobs that finished on time."""
+        return sum(
+            1
+            for r in self.records.values()
+            if r.deadline is not None and r.deadline_missed is False
+        )
 
 
 @dataclass
@@ -170,6 +231,15 @@ class OrchestratorResult(_LatencyAggregates):
         preemptions: Slot evictions the ordering policy performed.
         wave_cuts: Planning waves cut short by mid-wave admission (an
             urgent arrival triggered early replanning).
+        rejected: Arrivals shed by deadline-feasibility admission.
+        wave_estimates: Per-wave ``(predicted, observed)`` execution
+            seconds when the orchestrator carries a
+            :class:`~repro.serve.costing.CostEstimator` (empty without
+            one).  Predicted is the a priori, length-distribution-based
+            estimate that routing/admission decisions actually used;
+            observed is the executor clock the wave consumed (idle
+            fast-forwards excluded), so the pair measures decision
+            honesty, not hindsight.
         stats: Free-form counters (per-wave scheduler stats sums etc.).
     """
 
@@ -184,11 +254,35 @@ class OrchestratorResult(_LatencyAggregates):
     violations: int = 0
     preemptions: int = 0
     wave_cuts: int = 0
+    rejected: int = 0
+    wave_estimates: list[tuple[float, float]] = field(default_factory=list)
     stats: dict[str, float] = field(default_factory=dict)
 
     def tokens_per_time(self) -> float:
         """Trained real tokens per unit of virtual time."""
         return self.total_tokens / self.makespan if self.makespan else 0.0
+
+    def calibration_ratio(self) -> float | None:
+        """Predicted over observed wave seconds, summed across waves.
+
+        1.0 is a perfectly honest estimator; ``None`` without an
+        estimator (or when no wave consumed observable time).  The
+        documented bound is
+        :data:`repro.serve.costing.CALIBRATION_TOLERANCE`: the ratio
+        stays within ``[1/tol, tol]`` on the shipped executors.
+        """
+        predicted = sum(p for p, _ in self.wave_estimates)
+        observed = sum(o for _, o in self.wave_estimates)
+        if not observed:
+            return None
+        return predicted / observed
+
+    def calibration_error(self) -> float | None:
+        """``|log(calibration_ratio)|`` -- 0.0 is perfect, symmetric."""
+        ratio = self.calibration_ratio()
+        if ratio is None or ratio <= 0:
+            return None
+        return abs(math.log(ratio))
 
 
 @dataclass
@@ -253,6 +347,24 @@ class ReplicaSetResult(_LatencyAggregates):
     def preemptions(self) -> int:
         """Slot evictions across all replicas."""
         return sum(r.preemptions for r in self.replicas)
+
+    @property
+    def rejected(self) -> int:
+        """Deadline-infeasible arrivals shed across all replicas."""
+        return sum(r.rejected for r in self.replicas)
+
+    @property
+    def replans(self) -> int:
+        """Scheduler planning waves executed across all replicas."""
+        return sum(r.replans for r in self.replicas)
+
+    def calibration_ratio(self) -> float | None:
+        """Fleet-wide predicted/observed wave seconds (sum over replicas)."""
+        predicted = sum(p for r in self.replicas for p, _ in r.wave_estimates)
+        observed = sum(o for r in self.replicas for _, o in r.wave_estimates)
+        if not observed:
+            return None
+        return predicted / observed
 
     def tokens_per_time(self) -> float:
         """Trained real tokens per unit of virtual time (fleet-wide)."""

@@ -53,6 +53,7 @@ from repro.scheduler.bubble import find_violations
 from repro.scheduler.scheduler import MultiLoRAScheduler, SchedulerConfig
 from repro.scheduler.types import AdapterJob, Microbatch, Schedule
 from repro.serve.admission import AdmissionPolicy
+from repro.serve.costing import CostEstimator, TenantProfile
 from repro.serve.executors import Executor, StepEvent
 from repro.serve.jobs import ServeJob
 from repro.serve.metrics import JobRecord, OrchestratorResult
@@ -64,10 +65,59 @@ from repro.serve.ordering import (
 )
 from repro.serve.splice import StreamSplicer
 
-__all__ = ["OrchestratorConfig", "MigrationTicket", "OnlineOrchestrator"]
+__all__ = [
+    "AdaptiveWindowConfig",
+    "OrchestratorConfig",
+    "MigrationTicket",
+    "OnlineOrchestrator",
+]
 
 #: Window scheduler stats accumulated across waves into the result stats.
 _ACCUMULATED_STATS = ("merges", "noops_inserted", "milp_selected", "packing_tasks")
+
+
+@dataclass(frozen=True)
+class AdaptiveWindowConfig:
+    """The adaptive ``window_batches`` control loop.
+
+    The window is the responsiveness/packing-quality dial: small windows
+    let arrivals join (and retirements free slots) quickly but pay more
+    replans and junction no-ops; large windows pack better.  No static
+    value suits both a churning and a stable tenant set, so this loop
+    adapts it between waves:
+
+    * **Shrink under churn** -- any live-set change since the last wave
+      (admission, retirement, preemption, rejection, migration, wave
+      cut) halves the window down to ``min_batches``: the plan went
+      stale, keep the next one short.
+    * **Grow when stable** -- a wave with no churn grows the window by
+      one up to ``max_batches``: the tenant set is settled, buy packing
+      quality.
+    * **Cap by expected wave time** -- with ``target_wave_seconds`` set
+      (and the orchestrator carrying a
+      :class:`~repro.serve.costing.CostEstimator`), the window also
+      shrinks until the *predicted* wave time fits the target, so a
+      wave never locks the pipeline beyond the responsiveness budget no
+      matter how heavy the live tenants are.
+
+    Attributes:
+        min_batches: Window floor (>= 1).
+        max_batches: Window ceiling (>= ``min_batches``).
+        target_wave_seconds: Estimator-priced upper bound on one wave's
+            expected execution seconds (``None`` = no time cap).
+    """
+
+    min_batches: int = 1
+    max_batches: int = 8
+    target_wave_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_batches <= 0:
+            raise ScheduleError("min_batches must be positive")
+        if self.max_batches < self.min_batches:
+            raise ScheduleError("max_batches must be >= min_batches")
+        if self.target_wave_seconds is not None and self.target_wave_seconds <= 0:
+            raise ScheduleError("target_wave_seconds must be positive")
 
 
 @dataclass(frozen=True)
@@ -80,7 +130,11 @@ class OrchestratorConfig:
         window_batches: Global batches per job per planning wave; ``None``
             schedules each job's whole remaining horizon in one wave
             (with all arrivals at time 0 this is the offline oracle).
-        admission: Adapter-slot policy; ``None`` admits unboundedly.
+            With ``adaptive_window`` set this is the *starting* window.
+        admission: Adapter-slot policy; ``None`` admits unboundedly.  A
+            :class:`~repro.serve.admission.DeadlineFeasibilityAdmission`
+            additionally sheds due candidates whose deadline is no
+            longer feasible (requires ``estimator``).
         ordering: Slot-candidate ranking (and preemption) policy;
             ``None`` is FCFS, the original arrival-order behavior.
         mid_wave_admission: Let an urgent arrival cut the running wave
@@ -88,6 +142,18 @@ class OrchestratorConfig:
             flush) instead of waiting for the wave boundary.  Off by
             default: under steady traffic the flush bubbles cost more
             than the queueing they save.
+        estimator: Cost estimator pricing candidates and waves in
+            expected seconds.  When set, ordering policies see
+            :attr:`~repro.serve.ordering.JobView.remaining_seconds`,
+            per-wave predicted/observed calibration pairs are recorded
+            (:attr:`~repro.serve.metrics.OrchestratorResult.wave_estimates`),
+            and the replica exposes seconds-valued load to routing.
+            Meaningful with cost-model-clocked executors
+            (:class:`~repro.serve.executors.StreamingSimExecutor`); the
+            numeric executor's token clock is a different unit.
+        adaptive_window: Enable the window control loop (see
+            :class:`AdaptiveWindowConfig`); ``None`` keeps the static
+            ``window_batches``.
     """
 
     scheduler: SchedulerConfig
@@ -95,12 +161,31 @@ class OrchestratorConfig:
     admission: AdmissionPolicy | None = None
     ordering: OrderingPolicy | None = None
     mid_wave_admission: bool = False
+    estimator: CostEstimator | None = None
+    adaptive_window: AdaptiveWindowConfig | None = None
 
     def __post_init__(self) -> None:
         if self.window_batches is not None and self.window_batches <= 0:
             raise ScheduleError("window_batches must be positive (or None)")
         if self.ordering is not None:
             validate_policy(self.ordering)
+        if self.adaptive_window is not None and self.window_batches is None:
+            raise ScheduleError(
+                "adaptive_window needs a finite starting window_batches"
+            )
+        if (
+            self.adaptive_window is not None
+            and self.adaptive_window.target_wave_seconds is not None
+            and self.estimator is None
+        ):
+            raise ScheduleError(
+                "target_wave_seconds requires an estimator to price waves"
+            )
+        if hasattr(self.admission, "feasible") and self.estimator is None:
+            raise ScheduleError(
+                "deadline-feasibility admission requires an estimator to "
+                "price remaining time"
+            )
 
 
 @dataclass
@@ -196,6 +281,7 @@ class OnlineOrchestrator:
         self.stream: list[Microbatch] = []
         self._splicer = StreamSplicer(config.scheduler.num_stages)
         self._policy: OrderingPolicy = config.ordering or FCFSOrdering()
+        self._estimator: CostEstimator | None = config.estimator
         self._pending: list[ServeJob] = []
         self._parked: dict[int, _ParkedJob] = {}
         self._active: dict[int, _ActiveJob] = {}
@@ -210,40 +296,55 @@ class OnlineOrchestrator:
             else None
         )
         self._started = False
+        # Adaptive window state: the live window starts at the configured
+        # value (clamped into the adaptive band) and churn since the last
+        # wave drives shrink/grow decisions in _next_window.
+        self._window = config.window_batches
+        if config.adaptive_window is not None and self._window is not None:
+            adaptive = config.adaptive_window
+            self._window = min(
+                adaptive.max_batches, max(adaptive.min_batches, self._window)
+            )
+        self._churn = 0
+        # Calibration state: predicted seconds of the wave in flight, the
+        # clock it started at, and the idle time already accumulated --
+        # observed time is clock delta minus idle fast-forwards, finalized
+        # when the next wave starts (so pipeline-tail spillover is
+        # attributed, approximately, to the wave that caused it).
+        self._idle_advanced = 0.0
+        self._open_wave: tuple[float, float, float] | None = None
+        self._wave_estimates: list[tuple[float, float]] = []
 
     # -- candidate ranking ---------------------------------------------------
 
-    def _pending_view(self, job: ServeJob) -> JobView:
+    def _remaining_seconds(self, job: AdapterJob, batches: int) -> float | None:
+        """Expected service seconds for ``batches`` more of ``job``."""
+        if self._estimator is None:
+            return None
+        return self._estimator.job_seconds(job, batches)
+
+    def _view(self, job: ServeJob, remaining: int, admitted: bool) -> JobView:
         return JobView(
             adapter_id=job.adapter_id,
             arrival_time=job.arrival_time,
             priority=job.priority,
             deadline=job.deadline,
-            remaining_batches=job.job.num_global_batches(),
-            admitted=False,
+            remaining_batches=remaining,
+            admitted=admitted,
+            remaining_seconds=self._remaining_seconds(job.job, remaining),
         )
+
+    def _pending_view(self, job: ServeJob) -> JobView:
+        return self._view(job, job.job.num_global_batches(), admitted=False)
 
     def _parked_view(self, parked: _ParkedJob) -> JobView:
         job = parked.serve_job
-        return JobView(
-            adapter_id=job.adapter_id,
-            arrival_time=job.arrival_time,
-            priority=job.priority,
-            deadline=job.deadline,
-            remaining_batches=job.job.num_global_batches() - parked.completed,
-            admitted=False,
-        )
+        remaining = job.job.num_global_batches() - parked.completed
+        return self._view(job, remaining, admitted=False)
 
     def _active_view(self, state: _ActiveJob) -> JobView:
-        job = state.serve_job
-        return JobView(
-            adapter_id=job.adapter_id,
-            arrival_time=job.arrival_time,
-            priority=job.priority,
-            deadline=job.deadline,
-            remaining_batches=state.num_batches - state.steps_completed,
-            admitted=True,
-        )
+        remaining = state.num_batches - state.steps_completed
+        return self._view(state.serve_job, remaining, admitted=True)
 
     def _due_candidates(self) -> list[tuple[tuple[float, ...], int]]:
         """Every job eligible for a slot now, best policy rank first.
@@ -284,10 +385,37 @@ class OnlineOrchestrator:
                 worst = (victim_key, adapter_id)
         return None if worst is None else worst[1]
 
+    def _shed_doomed(self) -> None:
+        """Reject due candidates whose deadline is no longer feasible.
+
+        Only with a :class:`~repro.serve.admission
+        .DeadlineFeasibilityAdmission` gate: each due pending arrival is
+        priced (expected remaining seconds vs time-to-deadline) and
+        doomed ones move to the terminal ``rejected`` state instead of
+        taking a slot.  Waiting candidates are re-evaluated every pass,
+        so a job that becomes infeasible while queueing is shed then.
+        Parked (preempted) jobs are never shed -- their banked progress
+        already cost pipeline time, and eviction is the policy's call,
+        not admission's.
+        """
+        gate = getattr(self.config.admission, "feasible", None)
+        if gate is None:
+            return
+        now = self.executor.clock
+        survivors: list[ServeJob] = []
+        for job in self._pending:
+            if job.arrival_time <= now and not gate(self._pending_view(job), now):
+                self._records[job.adapter_id].rejected_time = now
+                self._churn += 1
+            else:
+                survivors.append(job)
+        self._pending = survivors
+
     # -- lifecycle -----------------------------------------------------------
 
     def _admit(self, adapter_id: int) -> None:
         """Give ``adapter_id`` (pending or parked) an adapter slot."""
+        self._churn += 1
         record = self._records[adapter_id]
         parked = self._parked.pop(adapter_id, None)
         if parked is not None:
@@ -333,6 +461,7 @@ class OnlineOrchestrator:
         )
         state.record.preemptions += 1
         self._preemptions += 1
+        self._churn += 1
 
     def _admit_ready(self) -> int:
         """Admit due candidates in policy order; preempt where allowed.
@@ -345,6 +474,7 @@ class OnlineOrchestrator:
         jobs and free the slot outright, so the loop re-evaluates after
         draining rather than evicting blindly.
         """
+        self._shed_doomed()
         admitted = 0
         while True:
             candidates = self._due_candidates()
@@ -369,6 +499,7 @@ class OnlineOrchestrator:
         self.executor.remove_job(adapter_id)
         self._splicer.retire(adapter_id)
         del self._active[adapter_id]
+        self._churn += 1
 
     def _handle_events(self, events: list[StepEvent]) -> int:
         """Record optimizer-step completions; retire finished jobs."""
@@ -386,9 +517,70 @@ class OnlineOrchestrator:
 
     # -- planning ------------------------------------------------------------
 
-    def _window_job(self, state: _ActiveJob) -> AdapterJob:
+    def _next_window(self) -> int | None:
+        """The window for the next wave, adapted to churn and wave cost.
+
+        Static without :attr:`OrchestratorConfig.adaptive_window`.
+        Otherwise: churn since the last wave halves the window (stale
+        plans should be short), a churn-free wave grows it by one
+        (stable tenant sets deserve packing quality), and -- with an
+        estimator and a ``target_wave_seconds`` -- the window shrinks
+        until the predicted wave time fits the responsiveness budget.
+        """
+        adaptive = self.config.adaptive_window
+        if adaptive is None:
+            return self.config.window_batches
+        window = self._window if self._window is not None else adaptive.max_batches
+        if self._replans == 0:
+            # First wave: the configured window really is the starting
+            # point -- initial admissions are arrivals, not a plan gone
+            # stale, so they must not pre-shrink it.
+            pass
+        elif self._churn:
+            window = max(adaptive.min_batches, window // 2)
+        else:
+            window = min(adaptive.max_batches, window + 1)
+        self._churn = 0
+        if adaptive.target_wave_seconds is not None and self._estimator is not None:
+            while (
+                window > adaptive.min_batches
+                and self._estimator.wave_seconds(self._wave_entries(window))
+                > adaptive.target_wave_seconds
+            ):
+                window -= 1
+        self._window = window
+        return window
+
+    def _wave_entries(self, window: int | None) -> list[tuple[TenantProfile, int]]:
+        """Estimator pricing entries for the next wave at ``window``."""
+        entries = []
+        for state in self._active.values():
+            remaining = state.num_batches - state.next_batch
+            if remaining <= 0:
+                continue
+            batches = remaining if window is None else min(window, remaining)
+            entries.append((TenantProfile.from_job(state.serve_job.job), batches))
+        return entries
+
+    def _close_wave_estimate(self) -> None:
+        """Finalize the in-flight wave's predicted/observed pair.
+
+        Observed time is the executor-clock delta since the wave was
+        submitted, minus idle fast-forwards -- so it covers the wave's
+        execution plus however much of its pipeline tail drained before
+        the next wave (the drain the wave itself caused).
+        """
+        if self._open_wave is None:
+            return
+        predicted, start_clock, idle_start = self._open_wave
+        observed = (self.executor.clock - start_clock) - (
+            self._idle_advanced - idle_start
+        )
+        self._wave_estimates.append((predicted, max(0.0, observed)))
+        self._open_wave = None
+
+    def _window_job(self, state: _ActiveJob, window: int | None) -> AdapterJob:
         """The job's next window as an offset-carrying scheduler job."""
-        window = self.config.window_batches
         end = (
             state.num_batches
             if window is None
@@ -412,8 +604,15 @@ class OnlineOrchestrator:
 
     def _plan_wave(self) -> list[Microbatch]:
         """Schedule the live jobs' next windows and splice the result."""
+        self._close_wave_estimate()
+        window_size = self._next_window()
+        predicted = (
+            self._estimator.wave_seconds(self._wave_entries(window_size))
+            if self._estimator is not None
+            else None
+        )
         wave_jobs = [
-            self._window_job(state)
+            self._window_job(state, window_size)
             for state in self._active.values()
             if not state.fully_scheduled
         ]
@@ -425,6 +624,8 @@ class OnlineOrchestrator:
         for mb in spliced:
             mb.replica = self.replica_id
         self._replans += 1
+        if predicted is not None:
+            self._open_wave = (predicted, self.executor.clock, self._idle_advanced)
         return spliced
 
     def _urgent_candidate(self) -> bool:
@@ -433,7 +634,10 @@ class OnlineOrchestrator:
         True when the best-ranked due candidate could act right now:
         either a slot is free (admission would succeed) or the policy is
         preemptive and the candidate strictly outranks an active job.
+        Doomed arrivals are shed first -- a deadline-infeasible job must
+        not buy a pipeline flush it can never use.
         """
+        self._shed_doomed()
         candidates = self._due_candidates()
         if not candidates:
             return False
@@ -456,6 +660,12 @@ class OnlineOrchestrator:
         arrival included.
         """
         self._wave_cuts += 1
+        self._churn += 1
+        # A cut wave is not a calibration sample: its prediction covered
+        # batches that were just rewound (and will be predicted again),
+        # so recording (full prediction, partial observation) would bias
+        # the ratio upward.
+        self._open_wave = None
         self._handle_events(self.executor.drain())
         self._splicer.truncate(len(self.stream))
         for state in self._active.values():
@@ -599,6 +809,9 @@ class OnlineOrchestrator:
         if not self._active and not self._parked and self._pending:
             next_arrival = self._pending[0].arrival_time
             if next_arrival > self.executor.clock:
+                # Idle fast-forward: excluded from per-wave observed time
+                # (it is waiting, not execution).
+                self._idle_advanced += next_arrival - self.executor.clock
                 self.executor.advance(next_arrival)
                 progressed = True
         if not progressed and self._active:
@@ -611,6 +824,7 @@ class OnlineOrchestrator:
     def finish(self) -> OrchestratorResult:
         """Drain in-flight work and report the session's result."""
         self._handle_events(self.executor.drain())
+        self._close_wave_estimate()
         return self._result()
 
     def run(self, workload: list[ServeJob]) -> OrchestratorResult:
@@ -657,6 +871,7 @@ class OnlineOrchestrator:
                     f"job {adapter_id} has scheduled-but-unstepped batches; "
                     "migrate only between waves"
                 )
+            self._churn += 1
             payload = self.executor.export_job(adapter_id)
             self.executor.remove_job(adapter_id)
             # Splicer positions are kept, not retired: a ticket may be
@@ -673,6 +888,7 @@ class OnlineOrchestrator:
             )
         parked = self._parked.pop(adapter_id, None)
         if parked is not None:
+            self._churn += 1
             return MigrationTicket(
                 job=parked.serve_job,
                 record=self._records.pop(adapter_id),
@@ -682,6 +898,7 @@ class OnlineOrchestrator:
         for index, job in enumerate(self._pending):
             if job.adapter_id == adapter_id:
                 self._pending.pop(index)
+                self._churn += 1
                 return MigrationTicket(
                     job=job,
                     record=self._records.pop(adapter_id),
@@ -720,6 +937,7 @@ class OnlineOrchestrator:
                 f"cannot inject job {aid}: no free adapter slot on this "
                 "replica (admission budget applies to migrations too)"
             )
+        self._churn += 1
         self._records[aid] = ticket.record
         self.executor.import_job(ticket.job, ticket.payload)
         self._active[aid] = _ActiveJob(
@@ -779,6 +997,52 @@ class OnlineOrchestrator:
         pending = sum(job.job.num_global_batches() for job in self._pending)
         return active + parked + pending
 
+    @property
+    def current_window(self) -> int | None:
+        """The live planning window in global batches.
+
+        Equals the static ``window_batches`` without adaptive windowing;
+        under :class:`AdaptiveWindowConfig` it is the value the control
+        loop last settled on (``None`` = whole-horizon waves).
+        """
+        if self.config.adaptive_window is not None:
+            return self._window
+        return self.config.window_batches
+
+    def expected_remaining_seconds(self) -> float | None:
+        """Expected service seconds this replica still owes (all jobs).
+
+        The seconds-valued counterpart of :meth:`outstanding_batches`:
+        every unfinished job -- active, parked (preempted), and pending
+        alike -- is priced by the estimator at its remaining batches.
+        ``None`` without an estimator.
+        """
+        if self._estimator is None:
+            return None
+        total = 0.0
+        for state in self._active.values():
+            total += self._estimator.job_seconds(
+                state.serve_job.job, state.num_batches - state.steps_completed
+            )
+        for parked in self._parked.values():
+            total += self._estimator.job_seconds(
+                parked.serve_job.job,
+                parked.serve_job.job.num_global_batches() - parked.completed,
+            )
+        for job in self._pending:
+            total += self._estimator.job_seconds(job.job)
+        return total
+
+    def expected_wave_seconds(self) -> float | None:
+        """Expected seconds of this replica's next planning wave.
+
+        Window-clipped over the live jobs; ``None`` without an
+        estimator, ``0.0`` when nothing is left to plan.
+        """
+        if self._estimator is None:
+            return None
+        return self._estimator.wave_seconds(self._wave_entries(self._window))
+
     def live_mean_lengths(self) -> list[float]:
         """Mean sample length of each active job (packing-affinity input)."""
         return [state.serve_job.job.mean_length() for state in self._active.values()]
@@ -816,10 +1080,15 @@ class OnlineOrchestrator:
     # -- reporting -----------------------------------------------------------
 
     def _result(self) -> OrchestratorResult:
+        # Derived from the records, the single source of truth for the
+        # rejected terminal state.
+        rejected = sum(
+            1 for r in self._records.values() if r.rejected_time is not None
+        )
         if not self.stream:
             # Zero waves ran (nothing was ever admitted): an empty
             # result, not a utilization artifact of an idle executor.
-            return OrchestratorResult(records=dict(self._records))
+            return OrchestratorResult(records=dict(self._records), rejected=rejected)
         violations = find_violations(self.stream, self.config.scheduler.num_stages)
         return OrchestratorResult(
             records=self._records,
@@ -833,6 +1102,8 @@ class OnlineOrchestrator:
             violations=len(violations),
             preemptions=self._preemptions,
             wave_cuts=self._wave_cuts,
+            rejected=rejected,
+            wave_estimates=list(self._wave_estimates),
             stats=dict(self._stats),
         )
 

@@ -16,6 +16,27 @@ A policy is two things:
 * :meth:`~OrderingPolicy.key` -- a total order over :class:`JobView`
   snapshots; **lower sorts first**.  Every shipped policy ends its key
   with ``(arrival_time, adapter_id)`` so ranking is deterministic.
+
+Two refinements make the ranking *quantitative* rather than heuristic:
+
+* **Time, not batch counts.**  When the orchestrator carries a
+  :class:`~repro.serve.costing.CostEstimator`, every :class:`JobView`
+  is stamped with :attr:`~JobView.remaining_seconds` -- the job's
+  expected remaining service time -- and :class:`SRPTOrdering` ranks on
+  it (true shortest-remaining-*time*), while :class:`DeadlineOrdering`
+  ranks on *slack* (time to deadline minus remaining time, i.e. least
+  laxity first).  Without an estimator the policies fall back to
+  remaining batch counts / raw deadlines, exactly the pre-estimator
+  behavior.
+* **Aging.**  SRPT and strict priority can starve long best-effort
+  jobs indefinitely under sustained pressure.  An ``aging_rate`` term
+  improves a candidate's rank linearly with its queueing time, which
+  bounds worst-case queueing: a job with remaining work ``R`` waiting
+  ``W`` outranks any fresh arrival with remaining work ``r`` once
+  ``W > (R - r) / aging_rate`` (``tests/serve/test_ordering.py``
+  asserts the bound).  Jobs waiting together age together, so aging
+  never reorders two equally-old candidates -- it only stops fresh
+  arrivals from cutting an ever-growing line.
 * :attr:`~OrderingPolicy.preemptive` -- whether a candidate that ranks
   strictly ahead of a running job may evict it.  Eviction is lossless:
   the victim's executor state is exported at an optimizer-step boundary
@@ -64,6 +85,11 @@ class JobView:
             remaining-work policies rank resumption correctly.
         admitted: Whether the job currently holds an adapter slot
             (a preemption victim) rather than waiting for one.
+        remaining_seconds: Expected remaining service time in seconds,
+            from the orchestrator's
+            :class:`~repro.serve.costing.CostEstimator` (``None``
+            without one); time-aware policies prefer it over the batch
+            count.
     """
 
     adapter_id: int
@@ -72,6 +98,22 @@ class JobView:
     deadline: float | None
     remaining_batches: int
     admitted: bool
+    remaining_seconds: float | None = None
+
+    def remaining_work(self) -> float:
+        """Remaining seconds when priced, else the raw batch count.
+
+        The two are different units (seconds vs batches); within one
+        orchestrator every candidate is stamped the same way, so keys
+        built from this stay mutually comparable.
+        """
+        if self.remaining_seconds is not None:
+            return self.remaining_seconds
+        return float(self.remaining_batches)
+
+    def waited(self, now: float) -> float:
+        """Queueing time accumulated by virtual time ``now``."""
+        return max(0.0, now - self.arrival_time)
 
 
 @runtime_checkable
@@ -104,27 +146,42 @@ class FCFSOrdering:
 
 @dataclass(frozen=True)
 class SRPTOrdering:
-    """Shortest remaining processing time, measured in global batches.
+    """Shortest remaining processing time, with an optional aging bound.
 
     The mean-JCT workhorse on heavy-tailed traces: short jobs (and jobs
     that are nearly done -- remaining work, not total size) jump the
-    queue.  With ``preemptive=True`` this is true SRPT: a shorter arrival
-    evicts the running job with the most remaining work.  Long jobs can
-    starve under sustained short-job pressure; bound that with
-    :class:`PriorityOrdering` or admission capacity instead of relying on
-    SRPT alone.
+    queue.  Remaining work is expected *seconds* when the orchestrator
+    prices candidates with a :class:`~repro.serve.costing.CostEstimator`
+    (:attr:`JobView.remaining_seconds`), else global batches.  With
+    ``preemptive=True`` this is true SRPT: a shorter arrival evicts the
+    running job with the most remaining work.
+
+    Long jobs can starve under sustained short-job pressure; a positive
+    ``aging_rate`` bounds that: a job's effective remaining work shrinks
+    by ``aging_rate`` per unit of queueing time, so a job with remaining
+    work ``R`` overtakes any fresh arrival with remaining work ``r``
+    after waiting at most ``(R - r) / aging_rate``.
 
     Attributes:
         preemptive: Evict the longest-remaining running job for a
             strictly shorter candidate (default off: reorder the queue
             only).
+        aging_rate: Remaining-work units (seconds with an estimator,
+            batches without) of rank credit per unit of waiting time;
+            0 is pure SRPT (may starve).
     """
 
     preemptive: bool = False
+    aging_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.aging_rate < 0:
+            raise ScheduleError("aging_rate must be non-negative")
 
     def key(self, job: JobView, now: float) -> tuple[float, ...]:
-        """Rank by remaining batches, then arrival."""
-        return (job.remaining_batches, job.arrival_time, job.adapter_id)
+        """Rank by aged remaining work (time when priced), then arrival."""
+        work = job.remaining_work() - self.aging_rate * job.waited(now)
+        return (work, job.arrival_time, job.adapter_id)
 
 
 @dataclass(frozen=True)
@@ -135,34 +192,71 @@ class PriorityOrdering:
     for a high class is not waiting behind a low one; a high-class
     arrival evicts the lowest-class running job when no slot is free.
 
+    A positive ``aging_rate`` raises a candidate's *effective* class
+    linearly with its queueing time, so a best-effort job cannot wait
+    behind class-``c`` traffic longer than ``c / aging_rate`` -- the
+    starvation bound strict priority otherwise lacks.
+
     Attributes:
         preemptive: Allow class-based eviction (default on).
+        aging_rate: Priority classes of rank credit per unit of waiting
+            time; 0 is strict priority (may starve).
     """
 
     preemptive: bool = True
+    aging_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.aging_rate < 0:
+            raise ScheduleError("aging_rate must be non-negative")
 
     def key(self, job: JobView, now: float) -> tuple[float, ...]:
-        """Rank by class (higher priority first), then arrival."""
-        return (-job.priority, job.arrival_time, job.adapter_id)
+        """Rank by aged class (higher effective priority first), then arrival."""
+        effective = job.priority + self.aging_rate * job.waited(now)
+        return (-effective, job.arrival_time, job.adapter_id)
 
 
 @dataclass(frozen=True)
 class DeadlineOrdering:
-    """Earliest deadline first (EDF).
+    """Earliest deadline first (EDF), slack-aware when costs are priced.
 
     Jobs without a deadline rank last (after every deadline-carrying
-    job).  Preemptive by default, as EDF's optimality argument assumes.
+    job).  When candidates carry :attr:`JobView.remaining_seconds` (an
+    orchestrator with a :class:`~repro.serve.costing.CostEstimator`),
+    the rank is *slack* -- time to deadline minus expected remaining
+    time, i.e. least laxity first -- so a long job whose deadline is
+    nominally later but effectively tighter is served first.  Without
+    an estimator the rank is the raw deadline, classic EDF.  Preemptive
+    by default, as EDF's optimality argument assumes.
 
     Attributes:
         preemptive: Allow deadline-based eviction (default on).
+        aging_rate: Rank credit (same time units as the deadline clock)
+            per unit of waiting, bounding how long a *deadline-carrying*
+            job queues behind fresh earlier-deadline arrivals; 0 is pure
+            EDF/least-laxity.  Deadline-free jobs rank last regardless
+            (their base is infinite, which no finite credit moves) --
+            bound best-effort starvation with :class:`SRPTOrdering` or
+            :class:`PriorityOrdering` aging instead.
     """
 
     preemptive: bool = True
+    aging_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.aging_rate < 0:
+            raise ScheduleError("aging_rate must be non-negative")
 
     def key(self, job: JobView, now: float) -> tuple[float, ...]:
-        """Rank by deadline (missing deadline = +inf), then arrival."""
-        deadline = math.inf if job.deadline is None else job.deadline
-        return (deadline, job.arrival_time, job.adapter_id)
+        """Rank by slack (deadline when unpriced; no deadline = +inf)."""
+        if job.deadline is None:
+            base = math.inf
+        elif job.remaining_seconds is not None:
+            base = (job.deadline - now) - job.remaining_seconds
+        else:
+            base = job.deadline
+        base -= self.aging_rate * job.waited(now)
+        return (base, job.arrival_time, job.adapter_id)
 
 
 def validate_policy(policy: object) -> OrderingPolicy:

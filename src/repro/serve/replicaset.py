@@ -102,7 +102,15 @@ class ReplicaSet:
         return len(self.replicas)
 
     def views(self) -> list[ReplicaView]:
-        """Current load snapshot of every replica, in index order."""
+        """Current load snapshot of every replica, in index order.
+
+        Load is reported in both units (see :class:`ReplicaView`):
+        ``outstanding_batches`` counts active **plus parked plus
+        pending** work, and -- when the orchestrators carry a
+        :class:`~repro.serve.costing.CostEstimator` -- the same work is
+        priced in expected seconds (``expected_remaining_time``,
+        ``expected_wave_time``) for cost-aware policies.
+        """
         return [
             ReplicaView(
                 index=index,
@@ -110,9 +118,12 @@ class ReplicaSet:
                 outstanding_batches=replica.outstanding_batches(),
                 num_active=replica.num_active,
                 num_pending=replica.num_pending,
+                num_parked=replica.num_parked,
                 slots_free=replica.slots_free,
                 live_mean_lengths=tuple(replica.live_mean_lengths()),
                 live_priorities=tuple(replica.live_priorities()),
+                expected_remaining_time=replica.expected_remaining_seconds(),
+                expected_wave_time=replica.expected_wave_seconds(),
             )
             for index, replica in enumerate(self.replicas)
         ]

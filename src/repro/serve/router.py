@@ -8,12 +8,13 @@ and *packing quality*: the per-replica scheduler's head-tail grouping and
 microbatch packing work best over tenants with compatible sample-length
 profiles, so where a tenant lands matters beyond raw load.
 
-Three pluggable policies ship:
+Five pluggable policies ship:
 
 * :class:`RoundRobinRouting` -- cycle over replicas; the stateless
   baseline.
 * :class:`LeastLoadedRouting` -- send each job to the replica owing the
-  fewest outstanding global batches; the latency-oriented default.
+  fewest outstanding global batches; the latency-oriented default when
+  no cost estimator is configured.
 * :class:`PackingAffinityRouting` -- among replicas within a bounded load
   gap of the least loaded, prefer the one already serving tenants with
   the most similar mean sample length, so microbatch shapes stay
@@ -22,6 +23,20 @@ Three pluggable policies ship:
   jobs go to the replica with the most free adapter slots, while
   best-effort jobs avoid eating a replica's last reserved slots, so a
   high-class arrival can usually land without waiting (or preempting).
+* :class:`CostAwareRouting` -- place each arrival where the fleet's
+  expected backlog, **in seconds**, grows least: the replica's expected
+  remaining time (:attr:`ReplicaView.expected_remaining_time`, priced by
+  each orchestrator's :class:`~repro.serve.costing.CostEstimator`) plus
+  the arriving job's marginal expected service time there.  Sharpens
+  least-loaded decisions whenever tenants are heterogeneous -- two
+  replicas owing the same *batch count* can owe very different amounts
+  of *time*.
+
+**Units.**  :class:`ReplicaView` carries both batch-count and
+seconds-valued load fields; each field documents its unit, and policies
+must not mix them (a batch is not a second).  Seconds-valued fields are
+``None`` unless the replica's orchestrator carries a cost estimator;
+cost-aware policies fall back to batch counts then.
 
 The :class:`TenantRouter` wraps a policy, validates its choices, and
 keeps the adapter-to-replica assignment log that migrations update.
@@ -34,6 +49,7 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.errors import ScheduleError
+from repro.serve.costing import CostEstimator
 from repro.serve.jobs import ServeJob
 
 __all__ = [
@@ -43,6 +59,7 @@ __all__ = [
     "LeastLoadedRouting",
     "PackingAffinityRouting",
     "PriorityHeadroomRouting",
+    "CostAwareRouting",
     "TenantRouter",
 ]
 
@@ -51,18 +68,38 @@ __all__ = [
 class ReplicaView:
     """A routing-time snapshot of one replica's load.
 
+    Load appears in two units -- **global batches** (counts, always
+    available) and **expected seconds** (cost-model-priced, ``None``
+    without an estimator).  Every outstanding/remaining field counts
+    *all* unfinished work the replica owes: active, **parked
+    (preempted)**, and pending jobs alike, so a parked-heavy replica is
+    never mistaken for an idle one.
+
     Attributes:
         index: The replica's position in the set.
         clock: The replica's current virtual time.
-        outstanding_batches: Not-yet-stepped global batches it owes
-            (pending plus active jobs).
+        outstanding_batches: Not-yet-stepped global batches the replica
+            owes across active, parked, and pending jobs.  Unit:
+            batches (a count, not a duration).
         num_active: Jobs currently holding adapter slots.
         num_pending: Jobs queued for a slot.
+        num_parked: Preempted jobs waiting (with exported state) to
+            resume on this replica.  They hold no slot but their
+            remaining work is owed here and is included in
+            ``outstanding_batches`` / ``expected_remaining_time``.
         slots_free: Free adapter slots (``None`` = unbounded admission).
-        live_mean_lengths: Mean sample length of each active job
-            (packing-affinity input).
+        live_mean_lengths: Mean sample length of each active job, in
+            tokens (packing-affinity input).
         live_priorities: Priority class of each active job
             (headroom-routing input).
+        expected_remaining_time: Expected seconds of service the replica
+            still owes across active, parked, and pending jobs, priced
+            by its orchestrator's
+            :class:`~repro.serve.costing.CostEstimator`.  Unit: virtual
+            seconds.  ``None`` without an estimator.
+        expected_wave_time: Expected seconds the replica's *next*
+            planning wave will take (window-clipped).  Unit: virtual
+            seconds.  ``None`` without an estimator.
     """
 
     index: int
@@ -73,6 +110,9 @@ class ReplicaView:
     slots_free: int | None
     live_mean_lengths: tuple[float, ...] = ()
     live_priorities: tuple[int, ...] = ()
+    num_parked: int = 0
+    expected_remaining_time: float | None = None
+    expected_wave_time: float | None = None
 
 
 @runtime_checkable
@@ -97,7 +137,14 @@ class RoundRobinRouting:
 
 
 class LeastLoadedRouting:
-    """Send each job to the replica owing the fewest outstanding batches."""
+    """Send each job to the replica owing the fewest outstanding batches.
+
+    Load is :attr:`ReplicaView.outstanding_batches` -- a **batch count**
+    (active + parked + pending), not a duration.  With heterogeneous
+    tenants equal counts can hide large wall-clock differences; use
+    :class:`CostAwareRouting` (seconds-valued) when an estimator is
+    available.
+    """
 
     def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
         """Return the least-loaded replica (lowest index breaks ties)."""
@@ -115,9 +162,14 @@ class PackingAffinityRouting:
     no live tenants counts as a perfect fit (it starts a fresh group), so
     under light load this degrades gracefully to spreading.
 
+    Both the load floor and the slack are in **global batches**
+    (:attr:`ReplicaView.outstanding_batches` counts, not seconds);
+    length similarity is in **tokens** (mean sample length).
+
     Attributes:
-        load_slack: How many extra outstanding global batches a
-            better-fitting replica may carry before load wins.
+        load_slack: How many extra outstanding global batches (a count,
+            not a duration) a better-fitting replica may carry before
+            load wins.
     """
 
     load_slack: int = 4
@@ -204,6 +256,62 @@ class PriorityHeadroomRouting:
             key=lambda r: (high_actives(r), r.outstanding_batches, r.index),
         )
         return best.index
+
+
+@dataclass(frozen=True)
+class CostAwareRouting:
+    """Place where the fleet's expected backlog (seconds) grows least.
+
+    For each replica the score is its expected remaining service time
+    (:attr:`ReplicaView.expected_remaining_time`, **seconds**) plus the
+    arriving job's *marginal* expected service time there
+    (:meth:`~repro.serve.costing.CostEstimator.placement_seconds`,
+    priced at the concurrency the job would run at -- a crowded replica
+    is charged the multi-adapter kernel overhead the newcomer would
+    actually pay).  The replica with the lowest post-placement backlog
+    wins; lowest index breaks ties.
+
+    This is the cost-model-foresight upgrade of
+    :class:`LeastLoadedRouting`: two replicas owing the same *batch
+    count* can owe 5-10x different amounts of *time* once tenant length
+    distributions diverge.  It never picks a strictly dominated replica
+    (one no better on expected remaining time or concurrency and
+    strictly worse on expected remaining time) -- the property
+    ``tests/serve/test_costing.py`` asserts.
+
+    When any view lacks ``expected_remaining_time`` (its orchestrator
+    has no estimator), the policy falls back to
+    :class:`LeastLoadedRouting`'s batch-count rule rather than mixing
+    units.
+
+    Attributes:
+        estimator: Prices the arriving job's marginal service time per
+            candidate replica.  ``None`` drops the marginal term and
+            routes on expected remaining time alone (still
+            seconds-valued).
+    """
+
+    estimator: CostEstimator | None = None
+
+    def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+        """Return the replica whose expected backlog grows least."""
+        if any(r.expected_remaining_time is None for r in replicas):
+            best = min(replicas, key=lambda r: (r.outstanding_batches, r.index))
+            return best.index
+
+        def score(view: ReplicaView) -> tuple[float, float, int]:
+            backlog = view.expected_remaining_time or 0.0
+            marginal = (
+                self.estimator.placement_seconds(job.job, view.num_active)
+                if self.estimator is not None
+                else 0.0
+            )
+            # Secondary key: when the marginal term's float magnitude
+            # swamps a small backlog difference, the smaller raw backlog
+            # still wins -- a dominated replica is never chosen.
+            return (backlog + marginal, backlog, view.index)
+
+        return min(replicas, key=score).index
 
 
 class TenantRouter:

@@ -5,7 +5,25 @@ import pytest
 from repro.errors import ScheduleError
 from repro.gpu import H100, L40S
 from repro.models.config import LLAMA3_70B, LLAMA3_8B
-from repro.serve import AdmissionPolicy, MemoryAdmission, SlotAdmission
+from repro.serve import (
+    AdmissionPolicy,
+    DeadlineFeasibilityAdmission,
+    JobView,
+    MemoryAdmission,
+    SlotAdmission,
+)
+
+
+def gate_view(deadline=None, remaining_seconds=None):
+    return JobView(
+        adapter_id=0,
+        arrival_time=0.0,
+        priority=0,
+        deadline=deadline,
+        remaining_batches=4,
+        admitted=False,
+        remaining_seconds=remaining_seconds,
+    )
 
 
 class TestSlotAdmission:
@@ -42,3 +60,44 @@ class TestMemoryAdmission:
     def test_satisfies_protocol(self):
         policy = MemoryAdmission(LLAMA3_8B, H100, capacity=4096)
         assert isinstance(policy, AdmissionPolicy)
+
+
+class TestDeadlineFeasibilityAdmission:
+    def test_delegates_slot_budget_to_inner_policy(self):
+        gate = DeadlineFeasibilityAdmission(SlotAdmission(3))
+        assert gate.max_concurrent() == 3
+        assert isinstance(gate, AdmissionPolicy)
+
+    def test_infeasible_deadline_is_shed(self):
+        gate = DeadlineFeasibilityAdmission(SlotAdmission(1))
+        # 5 seconds of work, 2 seconds to the deadline: doomed.
+        assert not gate.feasible(gate_view(deadline=2.0, remaining_seconds=5.0),
+                                 now=0.0)
+        # Same job, generous deadline: feasible.
+        assert gate.feasible(gate_view(deadline=9.0, remaining_seconds=5.0),
+                             now=0.0)
+
+    def test_feasibility_decays_while_queueing(self):
+        gate = DeadlineFeasibilityAdmission(SlotAdmission(1))
+        view = gate_view(deadline=6.0, remaining_seconds=5.0)
+        assert gate.feasible(view, now=1.0)
+        assert not gate.feasible(view, now=1.5)
+
+    def test_never_sheds_what_it_cannot_measure(self):
+        gate = DeadlineFeasibilityAdmission(SlotAdmission(1))
+        # No deadline, or no estimate: always feasible.
+        assert gate.feasible(gate_view(deadline=None, remaining_seconds=99.0),
+                             now=0.0)
+        assert gate.feasible(gate_view(deadline=0.1, remaining_seconds=None),
+                             now=0.0)
+
+    def test_slack_sheds_earlier(self):
+        lax = DeadlineFeasibilityAdmission(SlotAdmission(1), slack=1.0)
+        strict = DeadlineFeasibilityAdmission(SlotAdmission(1), slack=2.0)
+        view = gate_view(deadline=8.0, remaining_seconds=5.0)
+        assert lax.feasible(view, now=0.0)
+        assert not strict.feasible(view, now=0.0)
+
+    def test_rejects_non_positive_slack(self):
+        with pytest.raises(ScheduleError, match="slack"):
+            DeadlineFeasibilityAdmission(SlotAdmission(1), slack=0.0)

@@ -1,0 +1,254 @@
+"""Tests for the cost estimator and the cost-driven control plane.
+
+Covers the estimator primitives, the hypothesis calibration property
+(predicted wave time within the documented tolerance of the streaming
+simulator's observed time across random tenant mixes), and the
+cost-aware router's no-dominated-choice guarantee.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_dataset
+from repro.errors import ScheduleError
+from repro.gpu import H100
+from repro.models.config import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel, MicrobatchShape
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import (
+    CALIBRATION_TOLERANCE,
+    CostAwareRouting,
+    CostEstimator,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    ReplicaView,
+    ServeJob,
+    SlotAdmission,
+    StreamingSimExecutor,
+    TenantProfile,
+)
+
+DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+NUM_STAGES = 2
+COST = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+SCHED = SchedulerConfig(capacity=8192, num_stages=NUM_STAGES, use_milp=False)
+EST = CostEstimator.for_scheduler(COST, SCHED)
+
+
+def make_job(adapter_id=0, dataset="xsum", samples=16, gbs=8, seed=3):
+    return AdapterJob(
+        adapter_id,
+        synthetic_dataset(adapter_id, dataset, samples, seed=seed),
+        gbs,
+    )
+
+
+class TestTenantProfile:
+    def test_from_job_matches_dataset_moments(self):
+        job = make_job(samples=10, gbs=4)
+        profile = TenantProfile.from_job(job)
+        lengths = job.dataset.lengths.astype(float)
+        assert profile.mean_length == pytest.approx(lengths.mean())
+        assert profile.mean_sq_length == pytest.approx((lengths**2).mean())
+        # 10 samples over 3 global batches: the short tail is pro-rated.
+        assert profile.batch_samples == pytest.approx(10 / 3)
+
+    def test_rejects_non_distribution_moments(self):
+        with pytest.raises(ScheduleError, match="distribution"):
+            TenantProfile(mean_length=100.0, mean_sq_length=1.0, batch_samples=4)
+        with pytest.raises(ScheduleError, match="positive"):
+            TenantProfile(mean_length=0.0, mean_sq_length=0.0, batch_samples=4)
+
+
+class TestCostEstimator:
+    def test_for_scheduler_copies_packing_parameters(self):
+        est = CostEstimator.for_scheduler(COST, SCHED)
+        assert est.num_stages == SCHED.num_stages
+        assert est.capacity == SCHED.capacity
+        assert est.padding_multiple == SCHED.padding_multiple
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ScheduleError):
+            CostEstimator(COST, num_stages=0, capacity=8192)
+        with pytest.raises(ScheduleError):
+            CostEstimator(COST, num_stages=1, capacity=0)
+
+    def test_microbatch_seconds_is_bottleneck_stage_time(self):
+        shape = MicrobatchShape(tokens=4096, sum_sq_len=4096.0 * 512)
+        assert EST.microbatch_seconds(shape) > 0
+        assert EST.microbatch_seconds(MicrobatchShape(0, 0.0)) == 0.0
+
+    def test_job_seconds_scales_with_remaining_batches(self):
+        job = make_job(samples=16, gbs=8)  # 2 global batches
+        whole = EST.job_seconds(job)
+        half = EST.job_seconds(job, remaining_batches=1)
+        assert whole == pytest.approx(2 * half)
+        assert EST.job_seconds(job, remaining_batches=0) == 0.0
+
+    def test_longer_samples_cost_more_than_equal_batch_counts(self):
+        # The tentpole motivation: equal outstanding-batch counts, very
+        # different expected seconds.
+        short = make_job(0, "xsum", samples=16, gbs=8)
+        long = make_job(1, "wikisum", samples=16, gbs=8)
+        assert short.num_global_batches() == long.num_global_batches()
+        assert EST.job_seconds(long) > 2 * EST.job_seconds(short)
+
+    def test_placement_seconds_monotone_in_concurrency(self):
+        job = make_job()
+        prices = [EST.placement_seconds(job, n) for n in range(6)]
+        assert all(b >= a for a, b in zip(prices, prices[1:]))
+
+    def test_wave_seconds_sums_entries_plus_fill(self):
+        profile = TenantProfile.from_job(make_job())
+        one = EST.wave_seconds([(profile, 1)])
+        two = EST.wave_seconds([(profile, 2)])
+        # The second batch adds at most one batch of work (the
+        # pipeline-fill term does not double).
+        assert one < two <= 2 * one
+        assert EST.wave_seconds([]) == 0.0
+        assert EST.wave_seconds([(profile, 0)]) == 0.0
+
+    def test_schedule_seconds_prices_noops_free(self):
+        from repro.scheduler.types import Microbatch
+
+        noop = Microbatch(capacity=SCHED.capacity)
+        assert EST.schedule_seconds([noop]) == 0.0
+
+
+def serve_once(tenants, window, slots):
+    """Run a workload on the streaming simulator with the estimator on."""
+    config = OrchestratorConfig(
+        scheduler=SCHED,
+        window_batches=window,
+        admission=SlotAdmission(slots) if slots else None,
+        estimator=EST,
+    )
+    orchestrator = OnlineOrchestrator(
+        StreamingSimExecutor(COST, NUM_STAGES), config
+    )
+    return orchestrator.run(tenants)
+
+
+class TestCalibration:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mix=st.lists(
+            st.tuples(
+                st.sampled_from(DATASETS),
+                st.integers(min_value=8, max_value=32),  # samples
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        window=st.sampled_from([1, 2, None]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_predicted_wave_time_within_tolerance(self, mix, window, seed):
+        """Estimator honesty, property-style over random tenant mixes."""
+        tenants = [
+            ServeJob(
+                job=make_job(a, name, samples=samples, gbs=8, seed=seed),
+                arrival_time=0.0,
+            )
+            for a, (name, samples) in enumerate(mix)
+        ]
+        result = serve_once(tenants, window, slots=None)
+        assert result.violations == 0
+        ratio = result.calibration_ratio()
+        assert ratio is not None
+        assert 1 / CALIBRATION_TOLERANCE <= ratio <= CALIBRATION_TOLERANCE
+
+    def test_wave_estimates_empty_without_estimator(self):
+        config = OrchestratorConfig(scheduler=SCHED, window_batches=1)
+        orchestrator = OnlineOrchestrator(
+            StreamingSimExecutor(COST, NUM_STAGES), config
+        )
+        result = orchestrator.run(
+            [ServeJob(job=make_job(), arrival_time=0.0)]
+        )
+        assert result.wave_estimates == []
+        assert result.calibration_ratio() is None
+
+    def test_idle_time_excluded_from_observed(self):
+        # Two far-apart arrivals: the gap is idle fast-forward, and must
+        # not inflate observed wave time (which would fake
+        # under-prediction).
+        tenants = [
+            ServeJob(job=make_job(0, samples=8), arrival_time=0.0),
+            ServeJob(job=make_job(1, samples=8), arrival_time=1000.0),
+        ]
+        result = serve_once(tenants, window=None, slots=None)
+        observed = sum(o for _, o in result.wave_estimates)
+        assert observed < 100.0  # the 1000s gap is not in there
+
+
+def cost_view(index, remaining, num_active=0, batches=0):
+    return ReplicaView(
+        index=index,
+        clock=0.0,
+        outstanding_batches=batches,
+        num_active=num_active,
+        num_pending=0,
+        slots_free=None,
+        expected_remaining_time=remaining,
+    )
+
+
+class TestCostAwareRouting:
+    def test_prefers_less_expected_time_despite_more_batches(self):
+        # The whole point: replica 0 owes more *batches* but less *time*.
+        policy = CostAwareRouting(EST)
+        job = ServeJob(job=make_job(5, "xsum"), arrival_time=0.0)
+        views = [
+            cost_view(0, remaining=1.0, batches=20),
+            cost_view(1, remaining=5.0, batches=2),
+        ]
+        assert policy.choose(job, views) == 0
+
+    def test_falls_back_to_batch_counts_without_estimates(self):
+        policy = CostAwareRouting(EST)
+        job = ServeJob(job=make_job(5), arrival_time=0.0)
+        views = [
+            cost_view(0, remaining=None, batches=9),
+            cost_view(1, remaining=None, batches=2),
+        ]
+        assert policy.choose(job, views) == 1
+
+    def test_index_breaks_ties(self):
+        policy = CostAwareRouting()
+        job = ServeJob(job=make_job(5), arrival_time=0.0)
+        views = [cost_view(0, remaining=2.0), cost_view(1, remaining=2.0)]
+        assert policy.choose(job, views) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        remainings=st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=2,
+            max_size=5,
+        ),
+        actives=st.lists(
+            st.integers(min_value=0, max_value=8), min_size=5, max_size=5
+        ),
+        dataset=st.sampled_from(DATASETS),
+    )
+    def test_never_picks_strictly_dominated_replica(
+        self, remainings, actives, dataset
+    ):
+        """A replica worse on expected time and concurrency never wins."""
+        views = [
+            cost_view(i, remaining=r, num_active=a)
+            for i, (r, a) in enumerate(zip(remainings, actives))
+        ]
+        job = ServeJob(job=make_job(99, dataset), arrival_time=0.0)
+        choice = views[CostAwareRouting(EST).choose(job, views)]
+        for other in views:
+            dominates = (
+                other.expected_remaining_time < choice.expected_remaining_time
+                and other.num_active <= choice.num_active
+            )
+            assert not dominates, (
+                f"picked replica {choice.index} although "
+                f"{other.index} strictly dominates it"
+            )

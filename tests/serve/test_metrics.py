@@ -105,3 +105,62 @@ class TestReplicaSetAggregates:
     def test_zero_replicas_rejected(self):
         with pytest.raises(ScheduleError, match="replica"):
             ReplicaSetResult(replicas=[])
+
+
+class TestRejectionAggregates:
+    def result(self):
+        from repro.serve import JobOutcome  # noqa: F401 - used below
+
+        records = {
+            0: record(0, admit=0.0, finish=3.0, deadline=5.0),
+            1: record(1, admit=0.0, finish=9.0, deadline=5.0),   # late
+            2: record(2, deadline=5.0),                          # rejected
+            3: record(3, admit=0.0, finish=1.0),                 # no deadline
+        }
+        records[2].rejected_time = 0.5
+        return OrchestratorResult(records=records, makespan=9.0, rejected=1)
+
+    def test_outcomes(self):
+        from repro.serve import JobOutcome
+
+        result = self.result()
+        assert result.records[0].outcome is JobOutcome.FINISHED
+        assert result.records[2].outcome is JobOutcome.REJECTED
+        assert record(9).outcome is JobOutcome.UNFINISHED
+        assert result.rejections() == 1
+
+    def test_rejection_counts_in_strict_miss_rate_only(self):
+        result = self.result()
+        # Strict: 2 of 3 deadline-carrying jobs missed (late + rejected).
+        assert result.deadline_miss_rate() == pytest.approx(2 / 3)
+        # Served-only: 1 of 2 served deadline jobs missed.
+        assert result.served_deadline_miss_rate() == pytest.approx(1 / 2)
+        # Goodput: exactly one deadline job finished on time.
+        assert result.deadline_goodput() == 1
+
+
+class TestCalibrationAggregates:
+    def test_ratio_and_error(self):
+        result = OrchestratorResult(
+            wave_estimates=[(1.0, 2.0), (3.0, 2.0)],
+        )
+        assert result.calibration_ratio() == pytest.approx(1.0)
+        assert result.calibration_error() == pytest.approx(0.0)
+        skewed = OrchestratorResult(wave_estimates=[(4.0, 2.0)])
+        assert skewed.calibration_ratio() == pytest.approx(2.0)
+        assert skewed.calibration_error() == pytest.approx(0.6931, rel=1e-3)
+
+    def test_none_without_observations(self):
+        empty = OrchestratorResult()
+        assert empty.calibration_ratio() is None
+        assert empty.calibration_error() is None
+
+    def test_fleet_ratio_sums_over_replicas(self):
+        fleet = ReplicaSetResult(
+            replicas=[
+                OrchestratorResult(wave_estimates=[(1.0, 1.0)], rejected=1),
+                OrchestratorResult(wave_estimates=[(3.0, 3.0)], rejected=2),
+            ]
+        )
+        assert fleet.calibration_ratio() == pytest.approx(1.0)
+        assert fleet.rejected == 3

@@ -211,3 +211,173 @@ class TestServingLoop:
         plan_ids = [mb.plan_id for mb in orchestrator.stream]
         assert plan_ids == sorted(plan_ids)
         assert len(set(plan_ids)) == result.replans
+
+
+class TestAdaptiveWindow:
+    @staticmethod
+    def run_adaptive(workload, adaptive, slots=None, window=1):
+        from repro.serve import CostEstimator
+
+        scheduler = SchedulerConfig(capacity=8192, num_stages=2,
+                                    use_milp=False)
+        cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+        config = OrchestratorConfig(
+            scheduler=scheduler,
+            window_batches=window,
+            admission=SlotAdmission(slots) if slots else None,
+            estimator=CostEstimator.for_scheduler(cost, scheduler),
+            adaptive_window=adaptive,
+        )
+        orchestrator = OnlineOrchestrator(StreamingSimExecutor(cost, 2),
+                                          config)
+        return orchestrator, orchestrator.run(workload)
+
+    def test_window_grows_while_tenant_set_is_stable(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        # One long job, no churn after admission: the window should walk
+        # up to the ceiling.
+        workload = [ServeJob(job=make_jobs(1, samples=96)[0],
+                             arrival_time=0.0)]
+        orchestrator, result = self.run_adaptive(
+            workload, AdaptiveWindowConfig(min_batches=1, max_batches=4)
+        )
+        assert result.violations == 0
+        assert orchestrator.current_window == 4
+        # Fewer replans than the static window=1 run would need (12
+        # batches, one per wave).
+        assert result.replans < 12
+
+    def test_window_shrinks_under_churn(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        # A steady drip of short tenants: every wave sees churn, so the
+        # window must stay at the floor.
+        jobs = make_jobs(6, samples=8)
+        workload = [ServeJob(job=job, arrival_time=0.3 * a)
+                    for a, job in enumerate(jobs)]
+        orchestrator, result = self.run_adaptive(
+            workload, AdaptiveWindowConfig(min_batches=1, max_batches=8),
+            slots=2,
+        )
+        assert result.violations == 0
+        assert orchestrator.current_window <= 2
+
+    def test_target_wave_seconds_caps_the_window(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        workload = [ServeJob(job=make_jobs(1, samples=96)[0],
+                             arrival_time=0.0)]
+        tight = AdaptiveWindowConfig(min_batches=1, max_batches=8,
+                                     target_wave_seconds=1e-6)
+        orchestrator, result = self.run_adaptive(workload, tight)
+        assert result.violations == 0
+        # No wave may exceed the (unsatisfiable) budget by more than the
+        # floor window, so the window never leaves the floor.
+        assert orchestrator.current_window == 1
+
+    def test_adaptive_window_requires_finite_start(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        with pytest.raises(ScheduleError, match="window_batches"):
+            OrchestratorConfig(
+                scheduler=SchedulerConfig(capacity=8192, use_milp=False),
+                window_batches=None,
+                adaptive_window=AdaptiveWindowConfig(),
+            )
+
+    def test_target_requires_estimator(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        with pytest.raises(ScheduleError, match="estimator"):
+            OrchestratorConfig(
+                scheduler=SchedulerConfig(capacity=8192, use_milp=False),
+                window_batches=1,
+                adaptive_window=AdaptiveWindowConfig(target_wave_seconds=1.0),
+            )
+
+    def test_degenerate_bounds_rejected(self):
+        from repro.serve import AdaptiveWindowConfig
+
+        with pytest.raises(ScheduleError):
+            AdaptiveWindowConfig(min_batches=0)
+        with pytest.raises(ScheduleError):
+            AdaptiveWindowConfig(min_batches=4, max_batches=2)
+
+
+class TestDeadlineShedding:
+    @staticmethod
+    def serve_gated(workload, slack=1.0, slots=2, ordering=None):
+        from repro.serve import CostEstimator, DeadlineFeasibilityAdmission
+        from repro.serve.ordering import DeadlineOrdering
+
+        scheduler = SchedulerConfig(capacity=8192, num_stages=2,
+                                    use_milp=False)
+        cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+        config = OrchestratorConfig(
+            scheduler=scheduler,
+            window_batches=1,
+            admission=DeadlineFeasibilityAdmission(SlotAdmission(slots),
+                                                   slack=slack),
+            ordering=ordering or DeadlineOrdering(),
+            estimator=CostEstimator.for_scheduler(cost, scheduler),
+        )
+        orchestrator = OnlineOrchestrator(StreamingSimExecutor(cost, 2),
+                                          config)
+        return orchestrator.run(workload)
+
+    def test_doomed_arrival_is_rejected_terminally(self):
+        from repro.serve import JobOutcome
+
+        jobs = make_jobs(2, samples=16)
+        workload = [
+            # An impossible deadline: rejected on arrival.
+            ServeJob(job=jobs[0], arrival_time=0.0, deadline=1e-9),
+            # A generous one: served normally.
+            ServeJob(job=jobs[1], arrival_time=0.0, deadline=1e9),
+        ]
+        result = self.serve_gated(workload)
+        assert result.rejected == 1
+        rejected = result.records[0]
+        assert rejected.outcome is JobOutcome.REJECTED
+        assert rejected.rejected_time == 0.0
+        assert rejected.admit_time is None and rejected.finish_time is None
+        served = result.records[1]
+        assert served.outcome is JobOutcome.FINISHED
+        # The shed job counts in the strict miss rate but not the
+        # served-only one.
+        assert result.deadline_miss_rate() == 0.5
+        assert result.served_deadline_miss_rate() == 0.0
+        assert result.rejections() == 1
+
+    def test_gate_requires_estimator(self):
+        from repro.serve import DeadlineFeasibilityAdmission
+
+        with pytest.raises(ScheduleError, match="estimator"):
+            OrchestratorConfig(
+                scheduler=SchedulerConfig(capacity=8192, use_milp=False),
+                admission=DeadlineFeasibilityAdmission(SlotAdmission(1)),
+            )
+
+    def test_job_turning_infeasible_while_queueing_is_shed(self):
+        from repro.serve.ordering import FCFSOrdering
+
+        jobs = make_jobs(3, samples=24)
+        workload = [
+            # Fills the single slot for a while (~0.4s of service).
+            ServeJob(job=jobs[0], arrival_time=0.0),
+            # Feasible at arrival (own service ~0.55s < 0.7s budget) but
+            # the deadline decays while it queues behind job 0 under
+            # FCFS -- the gate re-prices it every admission pass and
+            # sheds it mid-queue.
+            ServeJob(job=jobs[1], arrival_time=0.0, deadline=0.7),
+            ServeJob(job=jobs[2], arrival_time=0.0),
+        ]
+        result = self.serve_gated(workload, slots=1, ordering=FCFSOrdering())
+        record = result.records[1]
+        assert record.rejected_time is not None
+        assert record.rejected_time > 0.0  # shed in queue, not at arrival
+        assert record.finish_time is None
+        # Everyone else completes.
+        assert result.records[0].finish_time is not None
+        assert result.records[2].finish_time is not None

@@ -16,7 +16,7 @@ from repro.serve.ordering import validate_policy
 
 
 def view(aid, arrival=0.0, priority=0, deadline=None, remaining=4,
-         admitted=False):
+         admitted=False, remaining_seconds=None):
     return JobView(
         adapter_id=aid,
         arrival_time=arrival,
@@ -24,6 +24,7 @@ def view(aid, arrival=0.0, priority=0, deadline=None, remaining=4,
         deadline=deadline,
         remaining_batches=remaining,
         admitted=admitted,
+        remaining_seconds=remaining_seconds,
     )
 
 
@@ -63,6 +64,73 @@ class TestSRPT:
         assert SRPTOrdering().preemptive is False
         assert SRPTOrdering(preemptive=True).preemptive is True
 
+    def test_ranks_by_seconds_when_priced(self):
+        # Remaining *time* beats remaining batch counts: fewer batches
+        # can be more work.
+        views = [
+            view(0, remaining=2, remaining_seconds=9.0),
+            view(1, remaining=8, remaining_seconds=1.0),
+        ]
+        assert ranked(SRPTOrdering(), views) == [1, 0]
+
+
+class TestAging:
+    """The starvation bound: rank improves linearly with queueing time.
+
+    With aging rate ``r``, a job with remaining work ``R`` that has
+    waited ``W`` has effective work ``R - r*W``, so it outranks any
+    fresh arrival with remaining work ``s`` once ``W > (R - s) / r`` --
+    the worst-case queueing bound (ROADMAP "aging / starvation bounds").
+    """
+
+    def test_aged_long_job_overtakes_fresh_short_job(self):
+        policy = SRPTOrdering(aging_rate=1.0)
+        long_job = view(0, arrival=0.0, remaining=10)
+        short_job = view(1, arrival=9.5, remaining=1)
+        # Bound: W > (R - s) / r = (10 - 1) / 1 = 9.  At now=9.5 the
+        # long job has waited 9.5 > 9 while the short one is fresh.
+        assert ranked(policy, [long_job, short_job], now=9.5) == [0, 1]
+        # Before the bound the short job still wins.
+        short_early = view(1, arrival=5.0, remaining=1)
+        assert ranked(policy, [long_job, short_early], now=5.0) == [1, 0]
+
+    def test_worst_case_queueing_bound_holds_for_any_wait(self):
+        # Property: once W exceeds (R - s) / r the long job ranks first,
+        # for a grid of (R, s, W) combinations.
+        rate = 0.5
+        policy = SRPTOrdering(aging_rate=rate)
+        for big in (4, 16, 64):
+            for small in (1, 2):
+                bound = (big - small) / rate
+                now = bound + 1.0
+                long_job = view(0, arrival=0.0, remaining=big)
+                fresh = view(1, arrival=now, remaining=small)
+                key_long = policy.key(long_job, now)
+                key_fresh = policy.key(fresh, now)
+                assert key_long < key_fresh
+
+    def test_jobs_waiting_together_age_together(self):
+        # Aging cancels between two candidates of equal age: the SRPT
+        # order among them is unchanged.
+        policy = SRPTOrdering(aging_rate=3.0)
+        views = [view(0, remaining=9), view(1, remaining=1), view(2, remaining=4)]
+        assert ranked(policy, views, now=100.0) == [1, 2, 0]
+
+    def test_priority_aging_promotes_waiting_best_effort(self):
+        policy = PriorityOrdering(aging_rate=0.1)
+        best_effort = view(0, arrival=0.0, priority=0)
+        high = view(1, arrival=25.0, priority=2)
+        # Bound: W > c / r = 2 / 0.1 = 20 -> at now=25 the best-effort
+        # job's effective class (2.5) beats the fresh high class (2).
+        assert ranked(policy, [best_effort, high], now=25.0) == [0, 1]
+        assert ranked(policy, [view(0, arrival=15.0, priority=0), high],
+                      now=25.0) == [1, 0]
+
+    def test_negative_aging_rate_rejected(self):
+        for cls in (SRPTOrdering, PriorityOrdering, DeadlineOrdering):
+            with pytest.raises(ScheduleError, match="aging_rate"):
+                cls(aging_rate=-0.5)
+
 
 class TestPriority:
     def test_higher_class_first(self):
@@ -91,6 +159,95 @@ class TestDeadline:
 
     def test_preemptive_by_default(self):
         assert DeadlineOrdering().preemptive is True
+
+    def test_slack_ranking_when_priced(self):
+        # Least laxity first: the later deadline is effectively tighter
+        # once remaining time is subtracted.
+        views = [
+            view(0, deadline=5.0, remaining_seconds=1.0),   # slack 4
+            view(1, deadline=8.0, remaining_seconds=7.5),   # slack 0.5
+        ]
+        assert ranked(DeadlineOrdering(), views) == [1, 0]
+
+
+class TestAgingEndToEnd:
+    """Aging bounds starvation in a served workload, not just in keys."""
+
+    @staticmethod
+    def serve(aging_rate):
+        from repro.data import synthetic_dataset
+        from repro.gpu import H100
+        from repro.models.config import LLAMA3_8B
+        from repro.models.layer_costs import LayerCostModel
+        from repro.scheduler import AdapterJob, SchedulerConfig
+        from repro.serve import (
+            OnlineOrchestrator,
+            OrchestratorConfig,
+            SlotAdmission,
+            StreamingSimExecutor,
+        )
+
+        cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+        # One heavy tenant at t=0 against a steady stream of shorts:
+        # exactly the pressure pure SRPT starves the heavy job under.
+        heavy = ServeJob(
+            job=AdapterJob(0, synthetic_dataset(0, "xsum", 64, seed=2), 8),
+            arrival_time=0.0,
+        )
+        shorts = [
+            ServeJob(
+                job=AdapterJob(a, synthetic_dataset(a, "xsum", 8, seed=2), 8),
+                arrival_time=0.0 if a == 1 else 0.08 * a,
+            )
+            for a in range(1, 17)
+        ]
+        config = OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=8192, num_stages=2,
+                                      use_milp=False),
+            window_batches=1,
+            admission=SlotAdmission(1),
+            ordering=SRPTOrdering(aging_rate=aging_rate),
+        )
+        orchestrator = OnlineOrchestrator(StreamingSimExecutor(cost, 2),
+                                          config)
+        return orchestrator.run([heavy] + shorts)
+
+    def test_aging_bounds_the_heavy_jobs_queueing(self):
+        rate = 8.0  # batches of rank credit per unit of waiting
+        starved = self.serve(aging_rate=0.0)
+        aged = self.serve(aging_rate=rate)
+        waited_starved = starved.records[0].queueing_delay
+        waited_aged = aged.records[0].queueing_delay
+        # Without aging the heavy job waits behind every short; with it,
+        # its rank improves with wait and it is admitted strictly
+        # earlier.
+        assert waited_aged < waited_starved
+        # The worst-case bound aging guarantees: the remaining-work gap
+        # is at most (8 - 1) batches, so after (R - s) / rate time units
+        # no *fresh* short can outrank the heavy job (jobs already
+        # waiting age along with it and keep their order).  Every short
+        # arriving after the bound must therefore be admitted after the
+        # heavy job...
+        bound = (8 - 1) / rate
+        late_shorts = [
+            r for a, r in aged.records.items()
+            if a != 0 and r.arrival_time > bound
+        ]
+        assert late_shorts  # the trace does stretch past the bound
+        assert all(
+            r.admit_time >= aged.records[0].admit_time for r in late_shorts
+        )
+        # ...whereas pure SRPT serves even post-bound arrivals first --
+        # that is the starvation aging removes.
+        assert any(
+            r.admit_time < starved.records[0].admit_time
+            for a, r in starved.records.items()
+            if a != 0 and r.arrival_time > bound
+        )
+        # Both runs finish everything.
+        for result in (starved, aged):
+            assert all(r.finish_time is not None
+                       for r in result.records.values())
 
 
 class TestProtocol:

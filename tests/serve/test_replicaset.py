@@ -284,3 +284,74 @@ class TestCrossReplicaAggregation:
         assert outcome.tokens_per_time() == pytest.approx(
             outcome.total_tokens / outcome.makespan
         )
+
+
+class TestParkedLoadAccounting:
+    """Regression: a parked (preempted) job's remaining work stays on the
+    replica's load views -- routing and rebalancing must never treat a
+    parked-heavy replica as idle."""
+
+    @staticmethod
+    def park_a_job():
+        from repro.serve import CostEstimator, PriorityOrdering
+
+        scheduler = SchedulerConfig(capacity=8192, num_stages=NUM_STAGES,
+                                    use_milp=False)
+        config = ReplicaSetConfig(
+            orchestrator=OrchestratorConfig(
+                scheduler=scheduler,
+                window_batches=1,
+                admission=SlotAdmission(1),
+                ordering=PriorityOrdering(),  # preemptive by default
+                estimator=CostEstimator.for_scheduler(COST, scheduler),
+            ),
+        )
+        replica_set = ReplicaSet(
+            [StreamingSimExecutor(COST, NUM_STAGES) for _ in range(2)],
+            config,
+        )
+        victim, bully = make_jobs(2, samples=32)
+        replica = replica_set.replicas[0]
+        replica.start([])
+        replica_set.replicas[1].start([])
+        replica.offer(ServeJob(job=victim, arrival_time=0.0, priority=0))
+        replica.offer(ServeJob(job=bully, arrival_time=0.01, priority=5))
+        while replica.num_parked == 0:
+            assert replica.step(), "victim never got preempted"
+        return replica_set
+
+    def test_parked_work_counts_in_views(self):
+        replica_set = self.park_a_job()
+        view = replica_set.views()[0]
+        replica = replica_set.replicas[0]
+        assert view.num_parked == 1
+        assert replica.num_parked == 1
+        # The parked job's remaining batches are owed here...
+        parked_remaining = next(iter(replica._parked.values()))
+        owed = (parked_remaining.serve_job.job.num_global_batches()
+                - parked_remaining.completed)
+        assert owed > 0
+        active_and_pending = (
+            sum(s.num_batches - s.steps_completed
+                for s in replica._active.values())
+            + sum(j.job.num_global_batches() for j in replica._pending)
+        )
+        assert view.outstanding_batches == active_and_pending + owed
+        # ...and in the seconds-valued load the estimator prices.
+        assert view.expected_remaining_time is not None
+        lower_bound = replica.config.estimator.job_seconds(
+            parked_remaining.serve_job.job, owed
+        )
+        assert view.expected_remaining_time >= lower_bound
+        # The idle replica really does look idle by comparison.
+        other = replica_set.views()[1]
+        assert other.outstanding_batches == 0
+        assert other.expected_remaining_time == 0.0
+
+    def test_cost_aware_routing_avoids_parked_heavy_replica(self):
+        from repro.serve import CostAwareRouting
+
+        replica_set = self.park_a_job()
+        job = ServeJob(job=make_jobs(3, samples=8)[2], arrival_time=1.0)
+        choice = CostAwareRouting().choose(job, replica_set.views())
+        assert choice == 1

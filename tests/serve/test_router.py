@@ -231,3 +231,50 @@ class TestPriorityHeadroom:
 
     def test_view_exposes_live_priorities(self):
         assert view(0).live_priorities == ()
+
+
+class TestCostAware:
+    def test_is_a_routing_policy(self):
+        from repro.serve import CostAwareRouting
+
+        assert isinstance(CostAwareRouting(), RoutingPolicy)
+
+    def test_routes_on_seconds_not_batches(self):
+        from dataclasses import replace
+
+        from repro.serve import CostAwareRouting
+
+        # Replica 0: many cheap batches.  Replica 1: few expensive ones.
+        replicas = [
+            replace(view(0, load=12), expected_remaining_time=0.4),
+            replace(view(1, load=3), expected_remaining_time=2.5),
+        ]
+        assert CostAwareRouting().choose(make_job(), replicas) == 0
+        # Least-loaded, batch-counting, disagrees -- that is the point.
+        assert LeastLoadedRouting().choose(make_job(), replicas) == 1
+
+    def test_falls_back_when_views_are_unpriced(self):
+        from repro.serve import CostAwareRouting
+
+        replicas = [view(0, load=12), view(1, load=3)]
+        assert CostAwareRouting().choose(make_job(), replicas) == 1
+
+    def test_works_under_tenant_router(self):
+        from dataclasses import replace
+
+        from repro.serve import CostAwareRouting
+
+        router = TenantRouter(CostAwareRouting())
+        replicas = [
+            replace(view(0), expected_remaining_time=5.0),
+            replace(view(1), expected_remaining_time=1.0),
+        ]
+        job = make_job(7)
+        assert router.route(job, replicas) == 1
+        assert router.assignments[7] == 1
+
+    def test_view_seconds_fields_default_to_unpriced(self):
+        snapshot = view(0)
+        assert snapshot.expected_remaining_time is None
+        assert snapshot.expected_wave_time is None
+        assert snapshot.num_parked == 0
