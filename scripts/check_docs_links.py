@@ -1,25 +1,38 @@
-"""Check intra-repo links in README.md and docs/*.md.
+"""Check intra-repo links and code references in the documentation.
 
-Scans markdown inline links (``[text](target)``) and fails when a
-relative target does not exist in the repository -- or when a link's
-``#fragment`` does not match any heading anchor of the target document
-(GitHub-style slugs), including pure in-page ``#section`` links.
-External links (``http(s)://``) and mail links are skipped.
+Two families of checks:
+
+1. **Markdown links.**  Scans inline links (``[text](target)``) in
+   README.md and docs/*.md and fails when a relative target does not
+   exist in the repository -- or when a link's ``#fragment`` does not
+   match any heading anchor of the target document (GitHub-style
+   slugs), including pure in-page ``#section`` links.  External links
+   (``http(s)://``) and mail links are skipped.
+2. **Code references.**  Scans Sphinx-style roles --
+   ``:class:`...```, ``:func:``, ``:meth:``, ``:attr:``, ``:data:``,
+   ``:mod:`` -- in docs/*.md *and* in every serve-layer docstring, and
+   fails unless the referenced name actually imports and resolves
+   (import the longest module prefix, then ``getattr`` the rest;
+   dataclass fields and annotated attributes count).  Docs can no
+   longer point at renamed-away API and silently rot.
 
 CI runs this as the docs job; ``tests/docs/test_links.py`` runs the same
-check under pytest so broken links fail locally too.
+checks under pytest so broken links fail locally too.
 
 Usage:  python scripts/check_docs_links.py
 """
 
 from __future__ import annotations
 
+import ast
+import importlib
 import re
 import sys
 from functools import lru_cache
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Inline markdown links; images share the syntax (with a leading ``!``).
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -29,6 +42,10 @@ _FENCE = re.compile(r"```.*?```", re.DOTALL)
 _HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 #: Characters GitHub strips when slugifying a heading.
 _SLUG_STRIP = re.compile(r"[^\w\- ]")
+#: Sphinx-style code-reference roles, e.g. ``:class:`~repro.serve.X```.
+_ROLE = re.compile(r":(class|func|meth|attr|data|mod):`([^`]+)`")
+#: The ``text <actual.target>`` form of a role body.
+_ROLE_TARGET = re.compile(r".*<([^<>]+)>\s*$", re.DOTALL)
 
 
 def doc_files(root: Path = REPO_ROOT) -> list[Path]:
@@ -92,6 +109,152 @@ def broken_links(path: Path) -> list[tuple[str, str]]:
     return problems
 
 
+# -- code-reference checking (:class:/:data:/... roles) ------------------
+
+#: Python sources whose docstring references the repository promises to
+#: keep resolvable (the serve layer is the enforced surface, like lint).
+SERVE_PACKAGE = REPO_ROOT / "src" / "repro" / "serve"
+
+#: Namespace bare (undotted) references in markdown resolve against.
+DOCS_NAMESPACE = "repro.serve"
+
+
+def reference_sources(root: Path = REPO_ROOT) -> list[Path]:
+    """The python files whose docstrings are reference-checked."""
+    return sorted((root / "src" / "repro" / "serve").glob("*.py"))
+
+
+def role_references(text: str) -> list[tuple[str, str]]:
+    """Every ``(role, target)`` reference in ``text``, normalized.
+
+    Normalization strips the Sphinx ``~`` shorthand, unwraps the
+    ``text <target>`` form, drops trailing call parentheses, and joins
+    targets wrapped across docstring lines.
+    """
+    references = []
+    for role, body in _ROLE.findall(text):
+        explicit = _ROLE_TARGET.match(body)
+        target = (explicit.group(1) if explicit else body).strip()
+        target = re.sub(r"\s+", "", target).lstrip("~")
+        if target.endswith("()"):
+            target = target[: -len("()")]
+        references.append((role, target))
+    return references
+
+
+def _attribute_missing(obj: object, name: str) -> bool:
+    """Whether ``obj`` has no attribute/field/annotation called ``name``."""
+    if hasattr(obj, name):
+        return False
+    if name in getattr(obj, "__dataclass_fields__", {}):
+        return False
+    return name not in getattr(obj, "__annotations__", {})
+
+
+def _resolve_absolute(path: str) -> str | None:
+    """``None`` when the dotted ``path`` imports/getattrs; else a reason."""
+    parts = path.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj: object = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for index, part in enumerate(parts[split:], start=split):
+            if not _attribute_missing(obj, part):
+                if index < len(parts) - 1:
+                    obj = getattr(obj, part, None)
+                    if obj is None:
+                        # Annotation-only intermediate: cannot walk deeper.
+                        return (
+                            f"'{part}' is not a real attribute to look "
+                            f"'{'.'.join(parts[index + 1:])}' up on"
+                        )
+                continue
+            return f"module {module_name} has no attribute '{part}'"
+        return None
+    return f"no importable module prefix in '{path}'"
+
+
+def resolve_reference(
+    role: str, target: str, namespaces: list[str]
+) -> str | None:
+    """``None`` when a role reference names something real; else why not.
+
+    Relative targets (no leading package path) are looked up in each of
+    ``namespaces`` in order -- the enclosing class and module for
+    docstrings, the serve package for markdown -- then as absolute
+    paths.
+    """
+    candidates = [f"{namespace}.{target}" for namespace in namespaces]
+    candidates.append(target)
+    reasons = []
+    for candidate in candidates:
+        reason = _resolve_absolute(candidate)
+        if reason is None:
+            return None
+        reasons.append(reason)
+    return "; ".join(reasons)
+
+
+def _docstring_scopes(path: Path) -> list[tuple[list[str], str]]:
+    """``(namespaces, docstring)`` per documented node in ``path``.
+
+    A module docstring resolves relative references against the module;
+    a class docstring (and every method docstring inside it) also
+    against the class itself, so ``:meth:`feasible``` inside
+    ``DeadlineFeasibilityAdmission`` means what a reader thinks it
+    means.
+    """
+    relative = path.relative_to(REPO_ROOT / "src")
+    module = ".".join(relative.with_suffix("").parts)
+    module = module.removesuffix(".__init__")
+    scopes: list[tuple[list[str], str]] = []
+
+    def visit(node: ast.AST, namespaces: list[str]) -> None:
+        inner = namespaces
+        if isinstance(node, ast.ClassDef):
+            # The class's own docstring resolves in class scope too.
+            inner = [f"{namespaces[0]}.{node.name}", *namespaces]
+        docstring = (
+            ast.get_docstring(node)
+            if isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef,
+                 ast.AsyncFunctionDef),
+            )
+            else None
+        )
+        if docstring:
+            scopes.append((inner, docstring))
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(ast.parse(path.read_text()), [module])
+    return scopes
+
+
+def broken_references(path: Path) -> list[tuple[str, str]]:
+    """``(target, reason)`` pairs for unresolvable role references.
+
+    Markdown files are scanned outside code fences against the
+    :data:`DOCS_NAMESPACE`; python files docstring by docstring with
+    class/module-relative resolution (see :func:`_docstring_scopes`).
+    """
+    if path.suffix == ".md":
+        text = _FENCE.sub("", path.read_text())
+        scopes = [([DOCS_NAMESPACE], text)]
+    else:
+        scopes = _docstring_scopes(path)
+    problems = []
+    for namespaces, text in scopes:
+        for role, target in role_references(text):
+            reason = resolve_reference(role, target, namespaces)
+            if reason is not None:
+                problems.append((f":{role}:`{target}`", reason))
+    return problems
+
+
 def main() -> int:
     failures = 0
     for path in doc_files():
@@ -99,10 +262,19 @@ def main() -> int:
             print(f"{path.relative_to(REPO_ROOT)}: broken link "
                   f"'{target}' ({reason})")
             failures += 1
+    reference_files = doc_files() + reference_sources()
+    for path in reference_files:
+        for target, reason in broken_references(path):
+            print(f"{path.relative_to(REPO_ROOT)}: dangling reference "
+                  f"{target} ({reason})")
+            failures += 1
     if failures:
-        print(f"{failures} broken link(s)")
+        print(f"{failures} broken link(s)/reference(s)")
         return 1
-    print(f"all intra-repo links ok across {len(doc_files())} file(s)")
+    print(
+        f"all intra-repo links ok across {len(doc_files())} file(s); "
+        f"all code references resolve across {len(reference_files)} file(s)"
+    )
     return 0
 
 

@@ -13,25 +13,91 @@ losslessly (state exported at an optimizer-step boundary, parked, and
 resumed bit-identically), and ``mid_wave_admission`` lets an urgent
 arrival cut the running wave instead of waiting for its boundary.
 
-The control plane is cost-model-driven: a :class:`CostEstimator`
-(:mod:`repro.serve.costing`) prices jobs, placements, and planning
-waves in expected seconds, so routing (:class:`CostAwareRouting`),
-ordering (time-based SRPT, least-laxity EDF, aging bounds), admission
-(:class:`DeadlineFeasibilityAdmission` sheds deadline-infeasible
-arrivals into the terminal ``rejected`` state), and window sizing
-(:class:`AdaptiveWindowConfig`) act on time, not batch counts -- with
-per-wave predicted/observed calibration recorded in the result.
+The control plane is cost-model-driven and **closed-loop**: a
+:class:`CostEstimator` (:mod:`repro.serve.costing`) prices jobs,
+placements, and planning waves in expected seconds; every executed wave
+records a predicted/observed pair; and a :class:`CalibrationTracker`
+folds those pairs back into smoothed per-tenant/per-replica correction
+factors, so routing, ordering, admission, window sizing, and
+rebalancing all act on time that keeps itself honest.  The full
+estimator math, units discipline, and calibration contract live in
+``docs/costing.md``; the operator-facing guide is ``docs/serving.md``;
+the module map is ``docs/architecture.md``.
 
-Two deployment shapes ship.  A single pipeline is an
-:class:`OnlineOrchestrator` over one :class:`Executor`.  Scale-out is a
-:class:`ReplicaSet`: N independent orchestrators, a :class:`TenantRouter`
-assigning each arriving :class:`ServeJob` to one of them (round-robin,
-least-loaded, packing-affinity, or priority-headroom), and
-threshold-triggered job migration that moves mid-training state between
-replicas losslessly.
+Exported API, by concern (one line each; the class docstrings carry the
+contracts):
 
-See ``docs/architecture.md`` for the module map and ``docs/serving.md``
-for the operator-facing guide (including the SLO & fairness section).
+**Jobs & executors** (``docs/serving.md``)
+  * :class:`ServeJob` -- one tenant's request: scheduling view, arrival
+    time, optional numeric payload, SLO metadata.
+  * :class:`JobOutcome` -- terminal state enum: finished / rejected /
+    unfinished.
+  * :func:`poisson_workload` -- wrap offline jobs into Poisson arrivals.
+  * :class:`Executor` -- the streaming execution protocol (submit /
+    drain / export / import).
+  * :class:`NumericExecutor` -- real weights behind the protocol
+    (losslessness-testable).
+  * :class:`StreamingSimExecutor` -- incremental 1F1B pipeline
+    simulation (cost-model time).
+  * :class:`StepEvent` -- one completed optimizer step, timestamped.
+  * :class:`StreamSplicer` -- bubble-safe junctions between planning
+    windows.
+
+**Orchestration** (``docs/serving.md``)
+  * :class:`OnlineOrchestrator` -- the serving loop over one executor:
+    admit, plan, splice, execute, retire.
+  * :class:`OrchestratorConfig` -- its tunables (window, admission,
+    ordering, estimator, adaptive window).
+  * :class:`AdaptiveWindowConfig` -- the window control loop: shrink
+    under churn, grow when stable, cap by predicted wave seconds.
+  * :class:`MigrationTicket` -- a job in transit between orchestrators.
+
+**Admission** (``docs/costing.md`` section "Choosing policies")
+  * :class:`AdmissionPolicy` -- the slot-budget protocol.
+  * :class:`SlotAdmission` -- a fixed adapter-slot budget.
+  * :class:`MemoryAdmission` -- the budget the GPU memory model derives.
+  * :class:`DeadlineFeasibilityAdmission` -- shed deadline-infeasible
+    arrivals; optionally queueing-aware (charge the planned backlog).
+
+**Ordering** (``docs/serving.md`` section "SLO & fairness")
+  * :class:`OrderingPolicy` -- the slot-candidate ranking protocol.
+  * :class:`JobView` -- the policy-facing candidate snapshot.
+  * :class:`FCFSOrdering` / :class:`SRPTOrdering` /
+    :class:`PriorityOrdering` / :class:`DeadlineOrdering` -- arrival
+    order, shortest-remaining (batches or priced seconds), SLO classes,
+    EDF/least-laxity; all but FCFS take an aging starvation bound.
+
+**Costing** (``docs/costing.md``)
+  * :class:`CostEstimator` -- prices jobs/placements/waves in expected
+    seconds from the layer cost model + tenant length moments.
+  * :class:`TenantProfile` -- a tenant's length moments, as pricing
+    input.
+  * :class:`CalibrationTracker` -- the feedback loop: smoothed
+    observed/predicted correction factors per tenant and replica.
+  * :data:`CALIBRATION_TOLERANCE` -- the a priori honesty band.
+  * :data:`CORRECTED_CALIBRATION_TOLERANCE` -- the tightened band once
+    correction is active.
+
+**Routing & scale-out** (``docs/serving.md`` section "Many pipelines")
+  * :class:`ReplicaSet` / :class:`ReplicaSetConfig` -- N orchestrators,
+    one tenant stream; skew-triggered (batches or seconds) lossless
+    migration, optional drain-then-migrate unlock.
+  * :class:`TenantRouter` -- applies a routing policy, keeps the
+    tenant-to-replica map.
+  * :class:`RoutingPolicy` -- the placement protocol.
+  * :class:`ReplicaView` -- a replica's load snapshot, in both units
+    (batch counts and expected seconds).
+  * :class:`RoundRobinRouting` / :class:`LeastLoadedRouting` /
+    :class:`PackingAffinityRouting` / :class:`PriorityHeadroomRouting` /
+    :class:`CostAwareRouting` -- cycle, fewest batches, shape affinity,
+    SLO headroom, least seconds-valued backlog growth.
+
+**Metrics** (``docs/serving.md`` section "Metrics")
+  * :class:`JobRecord` -- one job's lifecycle timestamps and totals.
+  * :class:`OrchestratorResult` -- one pipeline's run: latency views,
+    calibration views, counters.
+  * :class:`ReplicaSetResult` -- the fleet aggregate (sums and weighted
+    means that match per-replica drill-down).
 """
 
 from repro.serve.admission import (
@@ -40,7 +106,13 @@ from repro.serve.admission import (
     MemoryAdmission,
     SlotAdmission,
 )
-from repro.serve.costing import CALIBRATION_TOLERANCE, CostEstimator, TenantProfile
+from repro.serve.costing import (
+    CALIBRATION_TOLERANCE,
+    CORRECTED_CALIBRATION_TOLERANCE,
+    CalibrationTracker,
+    CostEstimator,
+    TenantProfile,
+)
 from repro.serve.executors import (
     Executor,
     NumericExecutor,
@@ -80,6 +152,8 @@ __all__ = [
     "AdaptiveWindowConfig",
     "AdmissionPolicy",
     "CALIBRATION_TOLERANCE",
+    "CORRECTED_CALIBRATION_TOLERANCE",
+    "CalibrationTracker",
     "CostAwareRouting",
     "CostEstimator",
     "DeadlineFeasibilityAdmission",

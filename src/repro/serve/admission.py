@@ -144,23 +144,42 @@ class DeadlineFeasibilityAdmission:
     time-to-deadline is shed immediately (terminal ``rejected`` state)
     instead of occupying a slot it cannot use.
 
-    The estimate is *service* time only: it ignores queueing for a slot
-    and pipeline sharing with other tenants, so it is optimistic and the
-    gate only sheds certainly-doomed work.  Raise ``slack`` above 1.0 to
-    shed earlier (a job is rejected once ``slack * remaining_seconds``
-    exceeds its time-to-deadline); the orchestrator re-evaluates waiting
-    candidates every admission pass, so a job that becomes infeasible
-    *while queueing* is shed then, not served late.
+    By default the estimate is *service* time only: it ignores queueing
+    for a slot and pipeline sharing with other tenants, so it is
+    optimistic and the gate only sheds certainly-doomed work.  Raise
+    ``slack`` above 1.0 to shed earlier (a job is rejected once
+    ``slack * remaining_seconds`` exceeds its time-to-deadline); the
+    orchestrator re-evaluates waiting candidates every admission pass,
+    so a job that becomes infeasible *while queueing* is shed then, not
+    served late.
+
+    ``queueing_aware=True`` removes the optimism: the orchestrator also
+    charges each candidate the replica's expected wave-time backlog --
+    the work already planned ahead of it
+    (:meth:`~repro.serve.orchestrator.OnlineOrchestrator
+    .expected_wave_seconds`) -- so a job that could finish on an idle
+    pipeline but not behind the current queue is shed *at arrival*
+    instead of after burning queueing time.  The trade-off is
+    pessimism: a lucky schedule (a retirement freeing the pipeline
+    early, head-tail merges) can occasionally save a job the backlog
+    test sheds, so the mode trades a few salvageable jobs for earlier
+    shedding; ``benchmarks/bench_calibration.py`` measures both sides
+    under overload.  Off by default.
 
     Attributes:
         slots: Inner slot policy (the concurrency budget).
         slack: Safety multiplier on the remaining-time estimate
             (>= how much of the estimate must fit; 1.0 = shed only
             provably-late arrivals under the optimistic estimate).
+        queueing_aware: Also charge the replica's expected wave-time
+            backlog ahead of the candidate (see above); the backlog is
+            *not* multiplied by ``slack`` -- it is already someone
+            else's priced work, not this job's estimate.
     """
 
     slots: AdmissionPolicy
     slack: float = 1.0
+    queueing_aware: bool = False
 
     def __post_init__(self) -> None:
         if self.slack <= 0:
@@ -170,13 +189,21 @@ class DeadlineFeasibilityAdmission:
         """Delegate the concurrency budget to the inner policy."""
         return self.slots.max_concurrent()
 
-    def feasible(self, view: JobView, now: float) -> bool:
-        """Whether ``view`` can still meet its deadline, optimistically.
+    def feasible(self, view: JobView, now: float, backlog: float = 0.0) -> bool:
+        """Whether ``view`` can still meet its deadline.
 
         Deadline-free candidates are always feasible; so are unpriced
         ones (no estimator stamped ``remaining_seconds``), because the
         gate refuses to shed on a quantity it cannot measure.
+
+        Args:
+            view: The candidate, as priced by the orchestrator.
+            now: Current virtual time.
+            backlog: Expected seconds of already-planned work ahead of
+                the candidate; charged only with ``queueing_aware`` on
+                (callers may always pass it).
         """
         if view.deadline is None or view.remaining_seconds is None:
             return True
-        return now + self.slack * view.remaining_seconds <= view.deadline
+        queued = backlog if self.queueing_aware else 0.0
+        return now + queued + self.slack * view.remaining_seconds <= view.deadline

@@ -13,8 +13,8 @@ and planning waves in **expected seconds**, using the same calibrated
 simulator executes against, plus each tenant's observed length
 distribution (:class:`TenantProfile`).
 
-The estimate is intentionally *a priori*: it is computed from the
-tenant's length distribution before the scheduler has packed a single
+The estimate starts out *a priori*: it is computed from the tenant's
+length distribution before the scheduler has packed a single
 microbatch, because that is the information available at routing and
 admission time.  Packing fragmentation, head-tail merging, and pipeline
 stalls therefore perturb the observed time; the orchestrator records
@@ -27,6 +27,16 @@ executors (``tests/serve/test_costing.py`` asserts it property-style
 over random tenant mixes, ``benchmarks/bench_cost_routing.py`` gates
 the committed numbers).
 
+The estimate does not have to *stay* a priori.  A
+:class:`CalibrationTracker` closes the loop: the orchestrator feeds
+every wave's ``(predicted, observed)`` pair back in, the tracker folds
+the ratio into smoothed per-tenant and per-replica correction factors,
+and the estimator multiplies future job/placement/wave prices by them.
+With the feedback active the honesty band tightens to
+:data:`CORRECTED_CALIBRATION_TOLERANCE` (``benchmarks/
+bench_calibration.py`` gates the win on a drifting trace where the a
+priori moments go stale mid-run).
+
 No serving module is imported here (only models/scheduler/distsim), so
 ordering, admission, routing, and orchestration are all free to build
 on the estimator without cycles.
@@ -35,7 +45,8 @@ on the estimator without cycles.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.distsim.systems import stage_times
 from repro.errors import ScheduleError
@@ -43,15 +54,30 @@ from repro.models.layer_costs import LayerCostModel, MicrobatchShape
 from repro.scheduler.scheduler import SchedulerConfig
 from repro.scheduler.types import AdapterJob, Microbatch
 
-__all__ = ["CALIBRATION_TOLERANCE", "TenantProfile", "CostEstimator"]
+__all__ = [
+    "CALIBRATION_TOLERANCE",
+    "CORRECTED_CALIBRATION_TOLERANCE",
+    "TenantProfile",
+    "CalibrationTracker",
+    "CostEstimator",
+]
 
-#: Documented honesty bound: the per-run predicted/observed wave-time
-#: ratio stays within ``[1/CALIBRATION_TOLERANCE, CALIBRATION_TOLERANCE]``
-#: on the streaming pipeline simulator.  The slack covers what the a
-#: priori estimate cannot see: packing fragmentation and per-adapter
-#: padding (observed > predicted), head-tail merging (observed <
-#: predicted), and pipeline fill/stall effects.
+#: Documented honesty bound for the **uncorrected** (a priori) estimator:
+#: the per-run predicted/observed wave-time ratio stays within
+#: ``[1/CALIBRATION_TOLERANCE, CALIBRATION_TOLERANCE]`` on the streaming
+#: pipeline simulator.  The slack covers what the a priori estimate
+#: cannot see: packing fragmentation and per-adapter padding (observed >
+#: predicted), head-tail merging (observed < predicted), and pipeline
+#: fill/stall effects.
 CALIBRATION_TOLERANCE = 2.0
+
+#: Tightened honesty bound once feedback correction is active: with a
+#: :class:`CalibrationTracker` folding observed/predicted ratios back
+#: into the estimator, the per-run ratio must stay within
+#: ``[1/CORRECTED_CALIBRATION_TOLERANCE, CORRECTED_CALIBRATION_TOLERANCE]``
+#: -- the correction absorbs the persistent component of the error the
+#: wide band existed for, so a corrected run is held to the narrow one.
+CORRECTED_CALIBRATION_TOLERANCE = 1.5
 
 
 @dataclass(frozen=True)
@@ -97,6 +123,113 @@ class TenantProfile:
         )
 
 
+@dataclass
+class CalibrationTracker:
+    """Feedback-corrected calibration: smoothed observed/predicted factors.
+
+    The orchestrator already records every wave's ``(predicted,
+    observed)`` seconds pair; this tracker turns that record into a
+    *correction*.  Each :meth:`observe` call folds the wave's
+    observed/predicted ratio into an exponentially-weighted moving
+    factor -- one per tenant that ran in the wave and one per replica
+    the wave ran on -- and :meth:`correction` returns the multiplier the
+    :class:`CostEstimator` applies to future prices.
+
+    The update is geometric (EWMA in log space), the natural smoothing
+    for a multiplicative quantity: with corrected predictions fed back
+    in, ``factor *= ratio**alpha`` is an integral controller on the log
+    error, algebraically identical to a geometric EWMA of the *raw*
+    observed/predicted ratio with weight ``alpha``.  A perfectly honest
+    estimator therefore keeps every factor at 1.0; a tenant whose waves
+    keep running 2x longer than priced converges to a factor of 2.0 at
+    rate ``alpha`` per wave, and a drift back re-converges the same way.
+
+    What it corrects -- and what it cannot: the tracker removes the
+    *persistent, per-tenant/per-replica* component of the estimator's
+    error (stale length moments, systematic packing-density bias, a
+    replica's constant overhead).  Per-wave noise (merge luck, stall
+    alignment) is zero-mean by construction and stays inside the
+    residual band, which is why the corrected contract is
+    :data:`CORRECTED_CALIBRATION_TOLERANCE`, not 1.0.
+
+    Attributes:
+        alpha: EWMA weight of the newest wave's ratio, in ``(0, 1]``
+            (1.0 = trust only the latest wave; small = smooth slowly).
+        max_correction: Clamp on every factor: corrections stay within
+            ``[1/max_correction, max_correction]`` so one pathological
+            wave (or a mispriced empty one) cannot poison future
+            decisions.
+    """
+
+    alpha: float = 0.4
+    max_correction: float = 4.0
+    _tenant: dict[int, float] = field(default_factory=dict, repr=False)
+    _replica: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ScheduleError("alpha must be in (0, 1]")
+        if self.max_correction < 1:
+            raise ScheduleError("max_correction must be at least 1")
+
+    def _fold(self, table: dict[int, float], key: int, ratio: float) -> None:
+        updated = table.get(key, 1.0) * ratio**self.alpha
+        table[key] = min(self.max_correction, max(1 / self.max_correction, updated))
+
+    def observe(
+        self,
+        predicted: float,
+        observed: float,
+        tenants: Iterable[int] = (),
+        replica: int | None = None,
+    ) -> None:
+        """Fold one wave's outcome into the correction factors.
+
+        Args:
+            predicted: The wave price the control plane actually used
+                (corrected, when correction was already active -- the
+                update then smooths the *residual* error).
+            observed: Executor seconds the wave consumed (idle excluded).
+            tenants: Adapter ids that ran in the wave (each one's factor
+                absorbs the ratio).
+            replica: Replica the wave ran on (its factor absorbs it too).
+
+        Non-positive pairs are ignored: a wave that consumed no
+        observable time (or was never priced) carries no signal.
+        """
+        if predicted <= 0 or observed <= 0:
+            return
+        ratio = observed / predicted
+        for adapter_id in tenants:
+            self._fold(self._tenant, adapter_id, ratio)
+        if replica is not None:
+            self._fold(self._replica, replica, ratio)
+
+    def correction(
+        self, adapter_id: int | None = None, replica: int | None = None
+    ) -> float:
+        """The price multiplier for a decision about one job or wave.
+
+        The most specific signal wins: a tracked per-tenant factor, else
+        the tracked per-replica factor, else 1.0 (never both -- each
+        factor already absorbed the full wave ratio, so stacking them
+        would double-correct).
+        """
+        if adapter_id is not None and adapter_id in self._tenant:
+            return self._tenant[adapter_id]
+        if replica is not None and replica in self._replica:
+            return self._replica[replica]
+        return 1.0
+
+    def tenant_corrections(self) -> dict[int, float]:
+        """Current per-tenant factors (a copy; introspection/reporting)."""
+        return dict(self._tenant)
+
+    def replica_corrections(self) -> dict[int, float]:
+        """Current per-replica factors (a copy; introspection/reporting)."""
+        return dict(self._replica)
+
+
 class CostEstimator:
     """Prices jobs, placements, and waves in expected seconds.
 
@@ -108,6 +241,15 @@ class CostEstimator:
     ``num_stages - 1`` slots -- the same arithmetic the streaming
     simulator's makespan converges to.
 
+    With a :class:`CalibrationTracker` attached, every identity-carrying
+    price (:meth:`job_seconds`, :meth:`placement_seconds`,
+    :meth:`wave_seconds`) is additionally multiplied by the tracked
+    correction factor -- per tenant when the job is known, per replica
+    otherwise -- so the feedback the orchestrator records flows back
+    into the next decision.  One estimator (and one tracker) may be
+    shared across replicas: corrections are keyed by the ``replica``
+    argument the caller passes, not by estimator instance.
+
     Args:
         cost: The calibrated layer cost model (shared with the
             executor, so predictions and observations price kernels
@@ -115,6 +257,8 @@ class CostEstimator:
         num_stages: Pipeline depth.
         capacity: Microbatch token budget (packing density input).
         padding_multiple: Per-adapter padding granule ``P``.
+        calibration: Feedback correction state; ``None`` keeps the
+            estimator purely a priori (the pre-feedback behavior).
     """
 
     def __init__(
@@ -123,6 +267,7 @@ class CostEstimator:
         num_stages: int,
         capacity: int,
         padding_multiple: int = 64,
+        calibration: CalibrationTracker | None = None,
     ) -> None:
         if num_stages <= 0:
             raise ScheduleError("num_stages must be positive")
@@ -132,10 +277,14 @@ class CostEstimator:
         self.num_stages = num_stages
         self.capacity = capacity
         self.padding_multiple = padding_multiple
+        self.calibration = calibration
 
     @classmethod
     def for_scheduler(
-        cls, cost: LayerCostModel, scheduler: SchedulerConfig
+        cls,
+        cost: LayerCostModel,
+        scheduler: SchedulerConfig,
+        calibration: CalibrationTracker | None = None,
     ) -> "CostEstimator":
         """An estimator matching a scheduler's packing parameters."""
         return cls(
@@ -143,7 +292,16 @@ class CostEstimator:
             num_stages=scheduler.num_stages,
             capacity=scheduler.capacity,
             padding_multiple=scheduler.padding_multiple,
+            calibration=calibration,
         )
+
+    def _correction(
+        self, adapter_id: int | None = None, replica: int | None = None
+    ) -> float:
+        """The tracked price multiplier (1.0 without a tracker)."""
+        if self.calibration is None:
+            return 1.0
+        return self.calibration.correction(adapter_id=adapter_id, replica=replica)
 
     # -- primitives ---------------------------------------------------------
 
@@ -212,6 +370,7 @@ class CostEstimator:
         job: AdapterJob,
         remaining_batches: int | None = None,
         num_adapters: int = 1,
+        replica: int | None = None,
     ) -> float:
         """Expected seconds of service a job still needs.
 
@@ -220,6 +379,8 @@ class CostEstimator:
             remaining_batches: Global batches left (``None`` = the whole
                 job; pass banked progress for preempted/active jobs).
             num_adapters: Concurrency the job's kernels are priced at.
+            replica: Replica the price is for -- the calibration
+                fallback key when the tenant itself is untracked.
         """
         batches = (
             job.num_global_batches()
@@ -228,24 +389,38 @@ class CostEstimator:
         )
         if batches <= 0:
             return 0.0
-        return batches * self.batch_seconds(TenantProfile.from_job(job), num_adapters)
+        raw = batches * self.batch_seconds(TenantProfile.from_job(job), num_adapters)
+        return raw * self._correction(adapter_id=job.adapter_id, replica=replica)
 
-    def placement_seconds(self, job: AdapterJob, num_active: int) -> float:
+    def placement_seconds(
+        self, job: AdapterJob, num_active: int, replica: int | None = None
+    ) -> float:
         """Marginal expected seconds ``job`` adds to a replica's backlog.
 
         Prices the job's whole service at the concurrency it would run
         at after placement (``num_active + 1`` adapters), so a crowded
         replica is charged the multi-adapter kernel overhead the
-        newcomer would actually pay there.
+        newcomer would actually pay there.  Calibration-corrected like
+        :meth:`job_seconds` (pass ``replica`` for the per-replica
+        fallback factor).
         """
-        return self.job_seconds(job, num_adapters=num_active + 1)
+        return self.job_seconds(job, num_adapters=num_active + 1, replica=replica)
 
-    def wave_seconds(self, entries: list[tuple[TenantProfile, int]]) -> float:
+    def wave_seconds(
+        self,
+        entries: list[tuple[TenantProfile, int]],
+        replica: int | None = None,
+    ) -> float:
         """Expected seconds one planning wave takes to execute.
 
         Args:
             entries: ``(profile, window batches)`` per live job in the
                 wave.
+            replica: Replica the wave would run on; with a
+                :class:`CalibrationTracker` the whole wave price is
+                multiplied by that replica's correction factor (wave
+                entries carry no tenant identity, so the replica factor
+                is the most specific signal available).
 
         Returns:
             The larger of two lower bounds: the steady-state bound (sum
@@ -275,7 +450,7 @@ class CostEstimator:
             longest_chain = max(longest_chain, chain)
         if total_mbs:
             total += (self.num_stages - 1) * (total / total_mbs)
-        return max(total, longest_chain)
+        return max(total, longest_chain) * self._correction(replica=replica)
 
     def schedule_seconds(self, microbatches: list[Microbatch]) -> float:
         """Price an already-planned microbatch stream (no-ops are free).

@@ -115,11 +115,61 @@ class JobRecord:
 
 
 class _LatencyAggregates:
-    """Latency/throughput views over a ``records`` dict (shared by the
-    single-pipeline and fleet results, so the definitions cannot
-    diverge)."""
+    """Latency/throughput/calibration views over shared result state
+    (one definition for the single-pipeline and fleet results, so the
+    two can never diverge).  Subclasses supply ``records`` and
+    :meth:`_wave_pairs`."""
 
     records: dict[int, JobRecord]
+
+    def _wave_pairs(self) -> list[tuple[float, float]]:
+        """The per-wave ``(predicted, observed)`` pairs this result
+        aggregates (every replica's, for a fleet)."""
+        return []
+
+    def calibration_ratio(self) -> float | None:
+        """Predicted over observed wave seconds, summed across waves.
+
+        1.0 is a perfectly honest estimator; ``None`` without an
+        estimator (or when no wave consumed observable time).  The
+        documented bounds:
+        :data:`repro.serve.costing.CALIBRATION_TOLERANCE` for a priori
+        runs, the tightened
+        :data:`repro.serve.costing.CORRECTED_CALIBRATION_TOLERANCE`
+        once a :class:`~repro.serve.costing.CalibrationTracker` feeds
+        corrections back.
+        """
+        pairs = self._wave_pairs()
+        predicted = sum(p for p, _ in pairs)
+        observed = sum(o for _, o in pairs)
+        if not observed:
+            return None
+        return predicted / observed
+
+    def calibration_error(self) -> float | None:
+        """``|log(calibration_ratio)|`` -- 0.0 is perfect, symmetric."""
+        ratio = self.calibration_ratio()
+        if ratio is None or ratio <= 0:
+            return None
+        return abs(math.log(ratio))
+
+    def mean_wave_calibration_error(self) -> float | None:
+        """Mean per-wave ``|log(predicted/observed)|`` (0.0 is perfect).
+
+        The run-level :meth:`calibration_ratio` sums before dividing, so
+        over- and under-predicted waves can cancel; this view charges
+        every wave its own log error, making wave-to-wave drift visible
+        even when the totals happen to balance.  ``None`` when no wave
+        recorded a usable pair.
+        """
+        errors = [
+            abs(math.log(p / o))
+            for p, o in self._wave_pairs()
+            if p > 0 and o > 0
+        ]
+        if not errors:
+            return None
+        return sum(errors) / len(errors)
 
     def _class_records(self, priority: int | None) -> list[JobRecord]:
         return [
@@ -262,27 +312,8 @@ class OrchestratorResult(_LatencyAggregates):
         """Trained real tokens per unit of virtual time."""
         return self.total_tokens / self.makespan if self.makespan else 0.0
 
-    def calibration_ratio(self) -> float | None:
-        """Predicted over observed wave seconds, summed across waves.
-
-        1.0 is a perfectly honest estimator; ``None`` without an
-        estimator (or when no wave consumed observable time).  The
-        documented bound is
-        :data:`repro.serve.costing.CALIBRATION_TOLERANCE`: the ratio
-        stays within ``[1/tol, tol]`` on the shipped executors.
-        """
-        predicted = sum(p for p, _ in self.wave_estimates)
-        observed = sum(o for _, o in self.wave_estimates)
-        if not observed:
-            return None
-        return predicted / observed
-
-    def calibration_error(self) -> float | None:
-        """``|log(calibration_ratio)|`` -- 0.0 is perfect, symmetric."""
-        ratio = self.calibration_ratio()
-        if ratio is None or ratio <= 0:
-            return None
-        return abs(math.log(ratio))
+    def _wave_pairs(self) -> list[tuple[float, float]]:
+        return self.wave_estimates
 
 
 @dataclass
@@ -302,12 +333,17 @@ class ReplicaSetResult(_LatencyAggregates):
         records: All jobs' lifecycle records merged across replicas.
         migrations: Active jobs moved between replicas (state transfers).
         reroutes: Pending jobs moved between replicas (queue moves only).
+        rebalance_drains: Pipeline flushes the rebalancer paid to bring
+            a deep pipeline's active jobs to step boundaries
+            (``drain_then_migrate``); each one bought the chance to
+            migrate, at the price of flush bubbles.
     """
 
     replicas: list[OrchestratorResult] = field(default_factory=list)
     records: dict[int, JobRecord] = field(default_factory=dict)
     migrations: int = 0
     reroutes: int = 0
+    rebalance_drains: int = 0
 
     def __post_init__(self) -> None:
         if not self.replicas:
@@ -358,13 +394,10 @@ class ReplicaSetResult(_LatencyAggregates):
         """Scheduler planning waves executed across all replicas."""
         return sum(r.replans for r in self.replicas)
 
-    def calibration_ratio(self) -> float | None:
-        """Fleet-wide predicted/observed wave seconds (sum over replicas)."""
-        predicted = sum(p for r in self.replicas for p, _ in r.wave_estimates)
-        observed = sum(o for r in self.replicas for _, o in r.wave_estimates)
-        if not observed:
-            return None
-        return predicted / observed
+    def _wave_pairs(self) -> list[tuple[float, float]]:
+        # Every replica's waves pooled, so the fleet calibration views
+        # are wave-weighted exactly like the single-pipeline ones.
+        return [pair for r in self.replicas for pair in r.wave_estimates]
 
     def tokens_per_time(self) -> float:
         """Trained real tokens per unit of virtual time (fleet-wide)."""

@@ -43,6 +43,7 @@ even evicted and resumed -- trains exactly as it would alone.
 
 from __future__ import annotations
 
+import inspect
 from bisect import insort
 from collections import Counter
 from dataclasses import dataclass
@@ -295,6 +296,22 @@ class OnlineOrchestrator:
             if config.admission is not None
             else None
         )
+        # Feasibility-gate dispatch, resolved once (the gate is fixed at
+        # construction): the backlog is part of the gate protocol -- any
+        # feasible() that *accepts* a third parameter receives the
+        # replica's expected wave backlog (the shipped gate charges it
+        # only when its queueing_aware flag is on); legacy two-argument
+        # gates keep working unchanged.
+        self._gate = getattr(config.admission, "feasible", None)
+        if self._gate is None:
+            self._gate_takes_backlog = False
+        else:
+            try:
+                self._gate_takes_backlog = (
+                    len(inspect.signature(self._gate).parameters) >= 3
+                )
+            except (TypeError, ValueError):
+                self._gate_takes_backlog = False
         self._started = False
         # Adaptive window state: the live window starts at the configured
         # value (clamped into the adaptive band) and churn since the last
@@ -307,12 +324,14 @@ class OnlineOrchestrator:
             )
         self._churn = 0
         # Calibration state: predicted seconds of the wave in flight, the
-        # clock it started at, and the idle time already accumulated --
-        # observed time is clock delta minus idle fast-forwards, finalized
-        # when the next wave starts (so pipeline-tail spillover is
-        # attributed, approximately, to the wave that caused it).
+        # clock it started at, the idle time already accumulated, and the
+        # tenants the wave serves -- observed time is clock delta minus
+        # idle fast-forwards, finalized when the next wave starts (so
+        # pipeline-tail spillover is attributed, approximately, to the
+        # wave that caused it).  The tenant set feeds the estimator's
+        # CalibrationTracker, when one is attached.
         self._idle_advanced = 0.0
-        self._open_wave: tuple[float, float, float] | None = None
+        self._open_wave: tuple[float, float, float, tuple[int, ...]] | None = None
         self._wave_estimates: list[tuple[float, float]] = []
 
     # -- candidate ranking ---------------------------------------------------
@@ -321,7 +340,7 @@ class OnlineOrchestrator:
         """Expected service seconds for ``batches`` more of ``job``."""
         if self._estimator is None:
             return None
-        return self._estimator.job_seconds(job, batches)
+        return self._estimator.job_seconds(job, batches, replica=self.replica_id)
 
     def _view(self, job: ServeJob, remaining: int, admitted: bool) -> JobView:
         return JobView(
@@ -394,17 +413,32 @@ class OnlineOrchestrator:
         doomed ones move to the terminal ``rejected`` state instead of
         taking a slot.  Waiting candidates are re-evaluated every pass,
         so a job that becomes infeasible while queueing is shed then.
+        With a ``queueing_aware`` gate the candidate is additionally
+        charged this replica's expected wave-time backlog (the planned
+        work ahead of it), shedding doomed-under-load work at arrival.
         Parked (preempted) jobs are never shed -- their banked progress
         already cost pipeline time, and eviction is the policy's call,
         not admission's.
         """
-        gate = getattr(self.config.admission, "feasible", None)
+        gate = self._gate
         if gate is None:
             return
         now = self.executor.clock
+        takes_backlog = self._gate_takes_backlog
+        # Skip pricing the backlog when the gate would zero it anyway.
+        wants_backlog = takes_backlog and bool(
+            getattr(self.config.admission, "queueing_aware", True)
+        )
+        backlog = (self.expected_wave_seconds() or 0.0) if wants_backlog else 0.0
+
+        def feasible(view: JobView) -> bool:
+            if takes_backlog:
+                return bool(gate(view, now, backlog))
+            return bool(gate(view, now))
+
         survivors: list[ServeJob] = []
         for job in self._pending:
-            if job.arrival_time <= now and not gate(self._pending_view(job), now):
+            if job.arrival_time <= now and not feasible(self._pending_view(job)):
                 self._records[job.adapter_id].rejected_time = now
                 self._churn += 1
             else:
@@ -544,7 +578,9 @@ class OnlineOrchestrator:
         if adaptive.target_wave_seconds is not None and self._estimator is not None:
             while (
                 window > adaptive.min_batches
-                and self._estimator.wave_seconds(self._wave_entries(window))
+                and self._estimator.wave_seconds(
+                    self._wave_entries(window), replica=self.replica_id
+                )
                 > adaptive.target_wave_seconds
             ):
                 window -= 1
@@ -568,16 +604,25 @@ class OnlineOrchestrator:
         Observed time is the executor-clock delta since the wave was
         submitted, minus idle fast-forwards -- so it covers the wave's
         execution plus however much of its pipeline tail drained before
-        the next wave (the drain the wave itself caused).
+        the next wave (the drain the wave itself caused).  With a
+        :class:`~repro.serve.costing.CalibrationTracker` attached to the
+        estimator, the pair is also folded into the per-tenant and
+        per-replica correction factors -- the feedback step that lets
+        future prices absorb this wave's error.
         """
         if self._open_wave is None:
             return
-        predicted, start_clock, idle_start = self._open_wave
+        predicted, start_clock, idle_start, tenants = self._open_wave
         observed = (self.executor.clock - start_clock) - (
             self._idle_advanced - idle_start
         )
-        self._wave_estimates.append((predicted, max(0.0, observed)))
+        observed = max(0.0, observed)
+        self._wave_estimates.append((predicted, observed))
         self._open_wave = None
+        if self._estimator is not None and self._estimator.calibration is not None:
+            self._estimator.calibration.observe(
+                predicted, observed, tenants=tenants, replica=self.replica_id
+            )
 
     def _window_job(self, state: _ActiveJob, window: int | None) -> AdapterJob:
         """The job's next window as an offset-carrying scheduler job."""
@@ -607,7 +652,9 @@ class OnlineOrchestrator:
         self._close_wave_estimate()
         window_size = self._next_window()
         predicted = (
-            self._estimator.wave_seconds(self._wave_entries(window_size))
+            self._estimator.wave_seconds(
+                self._wave_entries(window_size), replica=self.replica_id
+            )
             if self._estimator is not None
             else None
         )
@@ -625,7 +672,12 @@ class OnlineOrchestrator:
             mb.replica = self.replica_id
         self._replans += 1
         if predicted is not None:
-            self._open_wave = (predicted, self.executor.clock, self._idle_advanced)
+            self._open_wave = (
+                predicted,
+                self.executor.clock,
+                self._idle_advanced,
+                tuple(job.adapter_id for job in wave_jobs),
+            )
         return spliced
 
     def _urgent_candidate(self) -> bool:
@@ -998,6 +1050,17 @@ class OnlineOrchestrator:
         return active + parked + pending
 
     @property
+    def wave_estimates(self) -> list[tuple[float, float]]:
+        """Per-wave ``(predicted, observed)`` seconds recorded so far.
+
+        A copy of the live record
+        (:attr:`~repro.serve.metrics.OrchestratorResult.wave_estimates`
+        carries the final one); lets a coordinator or a demo watch
+        calibration converge mid-run without touching private state.
+        """
+        return list(self._wave_estimates)
+
+    @property
     def current_window(self) -> int | None:
         """The live planning window in global batches.
 
@@ -1021,16 +1084,14 @@ class OnlineOrchestrator:
             return None
         total = 0.0
         for state in self._active.values():
-            total += self._estimator.job_seconds(
-                state.serve_job.job, state.num_batches - state.steps_completed
-            )
+            remaining = state.num_batches - state.steps_completed
+            total += self._remaining_seconds(state.serve_job.job, remaining) or 0.0
         for parked in self._parked.values():
-            total += self._estimator.job_seconds(
-                parked.serve_job.job,
-                parked.serve_job.job.num_global_batches() - parked.completed,
-            )
+            remaining = parked.serve_job.job.num_global_batches() - parked.completed
+            total += self._remaining_seconds(parked.serve_job.job, remaining) or 0.0
         for job in self._pending:
-            total += self._estimator.job_seconds(job.job)
+            remaining = job.job.num_global_batches()
+            total += self._remaining_seconds(job.job, remaining) or 0.0
         return total
 
     def expected_wave_seconds(self) -> float | None:
@@ -1041,7 +1102,9 @@ class OnlineOrchestrator:
         """
         if self._estimator is None:
             return None
-        return self._estimator.wave_seconds(self._wave_entries(self._window))
+        return self._estimator.wave_seconds(
+            self._wave_entries(self._window), replica=self.replica_id
+        )
 
     def live_mean_lengths(self) -> list[float]:
         """Mean sample length of each active job (packing-affinity input)."""
@@ -1051,31 +1114,51 @@ class OnlineOrchestrator:
         """Priority class of each active job (headroom-routing input)."""
         return [state.serve_job.priority for state in self._active.values()]
 
-    def migratable_jobs(self) -> list[tuple[int, int, bool]]:
-        """Jobs a rebalancer may move right now.
+    def migratable_jobs(self) -> list[tuple[int, int, float | None, bool]]:
+        """Jobs a rebalancer may move right now, priced in both units.
 
         Returns:
-            ``(adapter_id, remaining_batches, is_pending)`` tuples:
-            every pending job, every parked (preempted) job, plus every
-            active unfinished job sitting at a wave boundary.
+            ``(adapter_id, remaining_batches, remaining_seconds,
+            is_pending)`` tuples: every pending job, every parked
+            (preempted) job, plus every active unfinished job sitting at
+            a wave boundary.  ``remaining_seconds`` is the
+            estimator-priced (calibration-corrected) expected service
+            time of the remaining batches, ``None`` without an
+            estimator -- the seconds-skew rebalancer picks migrants by
+            it, the batch-skew one by the count.
         """
-        candidates = [
-            (job.adapter_id, job.job.num_global_batches(), True)
-            for job in self._pending
-        ]
+        candidates = []
+        for job in self._pending:
+            batches = job.job.num_global_batches()
+            seconds = self._remaining_seconds(job.job, batches)
+            candidates.append((job.adapter_id, batches, seconds, True))
         for aid, parked in self._parked.items():
-            candidates.append(
-                (
-                    aid,
-                    parked.serve_job.job.num_global_batches() - parked.completed,
-                    False,
-                )
-            )
+            batches = parked.serve_job.job.num_global_batches() - parked.completed
+            seconds = self._remaining_seconds(parked.serve_job.job, batches)
+            candidates.append((aid, batches, seconds, False))
         for aid, state in self._active.items():
             if state.finished or state.steps_completed != state.next_batch:
                 continue
-            candidates.append((aid, state.num_batches - state.steps_completed, False))
+            batches = state.num_batches - state.steps_completed
+            seconds = self._remaining_seconds(state.serve_job.job, batches)
+            candidates.append((aid, batches, seconds, False))
         return candidates
+
+    def flush(self) -> int:
+        """Drain the pipeline so every active job reaches a step boundary.
+
+        The ``drain_then_migrate`` unlock: between :meth:`step` calls a
+        deep pipeline usually still has the wave tail in flight, so
+        active jobs sit with scheduled-but-unstepped batches and
+        :meth:`eject_job` refuses them.  Draining completes every
+        submitted microbatch (paying the flush bubbles), after which all
+        active jobs are at optimizer-step boundaries and migratable.
+        Retirements the drain completes are processed normally.
+
+        Returns:
+            Jobs retired by the drain.
+        """
+        return self._handle_events(self.executor.drain())
 
     # -- reporting -----------------------------------------------------------
 

@@ -186,7 +186,7 @@ class SRPTOrdering:
 
 @dataclass(frozen=True)
 class PriorityOrdering:
-    """Explicit SLO classes: higher :attr:`ServeJob.priority` first.
+    """Explicit SLO classes: higher :attr:`~repro.serve.jobs.ServeJob.priority` first.
 
     Within a class, FCFS.  Preemptive by default -- the point of paying
     for a high class is not waiting behind a low one; a high-class

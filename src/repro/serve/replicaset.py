@@ -53,23 +53,71 @@ __all__ = ["ReplicaSetConfig", "ReplicaSet"]
 class ReplicaSetConfig:
     """Tunables of the multi-replica serving layer.
 
+    The rebalancer has two trigger modes, matching the two load units
+    :class:`~repro.serve.router.ReplicaView` reports.
+    ``migration_time_threshold`` is the cost-priced mode: it compares
+    replicas on their completion horizons -- virtual clock plus
+    ``expected_remaining_time`` **seconds** (the same estimator-priced
+    backlog routing sees) -- and picks the migrant that best evens the
+    seconds gap.  Two replicas owing the same batch count can owe very
+    different amounts of time, so this is the mode to use whenever an
+    estimator is configured.
+    ``migration_threshold`` is the legacy batch-count mode.  When both
+    are set, seconds win (they are the finer measure).
+
     Attributes:
         orchestrator: Per-replica orchestrator configuration (every
             replica runs the same scheduler/window/admission settings).
         routing: Tenant placement policy;
             :class:`~repro.serve.router.LeastLoadedRouting` when omitted.
         migration_threshold: Maximum tolerated outstanding-batch skew
-            between the most and least loaded replicas before the set
-            migrates jobs to rebalance; ``None`` disables migration.
+            (a **count**) between the most and least loaded replicas
+            before the set migrates jobs to rebalance; ``None`` disables
+            the batch-skew trigger.
+        migration_time_threshold: Maximum tolerated
+            ``expected_remaining_time`` skew in **seconds**; requires
+            the orchestrator to carry a
+            :class:`~repro.serve.costing.CostEstimator`.  ``None``
+            disables the seconds-skew trigger.
+        drain_then_migrate: When a triggered rebalance finds no movable
+            job -- under a deep pipeline the wave tail is usually in
+            flight, so active jobs are not at step boundaries -- pay one
+            pipeline flush on the overloaded replica
+            (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.flush`)
+            to bring them to boundaries and retry.  Off by default: the
+            flush costs bubbles, so leave it off unless rebalances are
+            visibly starving (``ReplicaSetResult.rebalance_drains``
+            counts the flushes paid).
     """
 
     orchestrator: OrchestratorConfig
     routing: RoutingPolicy | None = None
     migration_threshold: int | None = None
+    migration_time_threshold: float | None = None
+    drain_then_migrate: bool = False
 
     def __post_init__(self) -> None:
         if self.migration_threshold is not None and self.migration_threshold < 0:
             raise ScheduleError("migration_threshold must be non-negative")
+        if self.migration_time_threshold is not None:
+            if self.migration_time_threshold < 0:
+                raise ScheduleError(
+                    "migration_time_threshold must be non-negative"
+                )
+            if self.orchestrator.estimator is None:
+                raise ScheduleError(
+                    "migration_time_threshold compares replicas in expected "
+                    "seconds; configure an estimator on the orchestrator"
+                )
+        if self.drain_then_migrate and (
+            self.migration_threshold is None
+            and self.migration_time_threshold is None
+        ):
+            raise ScheduleError(
+                "drain_then_migrate without a migration threshold would "
+                "never fire; set migration_threshold or "
+                "migration_time_threshold"
+            )
 
 
 class ReplicaSet:
@@ -94,6 +142,7 @@ class ReplicaSet:
         self.router = TenantRouter(config.routing or LeastLoadedRouting())
         self._migrations = 0
         self._reroutes = 0
+        self._rebalance_drains = 0
         self._ran = False
 
     @property
@@ -179,53 +228,109 @@ class ReplicaSet:
             records=records,
             migrations=self._migrations,
             reroutes=self._reroutes,
+            rebalance_drains=self._rebalance_drains,
         )
 
     # -- rebalancing --------------------------------------------------------
 
     def _rebalance(self) -> None:
-        """Migrate jobs while load skew exceeds the threshold.
+        """Migrate jobs while load skew exceeds the configured threshold.
 
-        Each pass moves one job from the most to the least loaded replica
-        when that strictly reduces the skew; the loop terminates because
-        every migration strictly decreases the sum of squared loads.
+        With ``migration_time_threshold`` set, skew is measured in
+        estimator-priced **seconds** -- each replica's *completion
+        horizon*, its virtual clock plus ``expected_remaining_time``.
+        Seconds compose with the clock (batch counts cannot), and the
+        horizon is what a migrated job actually experiences: between
+        arrivals replica clocks drift apart, and a job moved to a
+        remaining-time-light replica whose clock runs *later* would
+        finish later, not earlier.  Without the time threshold, skew is
+        outstanding **batches** (the legacy trigger).  Each pass moves
+        one job from the most to the least loaded replica when that
+        strictly reduces the skew *as priced at the source*.  A job is
+        moved at most once per pass: corrected prices are replica-keyed,
+        so a tenant can reprice after landing, and without that guard a
+        near-threshold weight could ping-pong between two replicas.
+        The once-per-job bound also makes termination unconditional.
+        When no job can move -- typically a deep pipeline holding every
+        active job mid-wave -- ``drain_then_migrate`` pays one flush on
+        the overloaded replica (at most once per replica per pass) to
+        unlock the migration.
         """
-        threshold = self.config.migration_threshold
+        seconds_mode = self.config.migration_time_threshold is not None
+        threshold: float | None = (
+            self.config.migration_time_threshold
+            if seconds_mode
+            else self.config.migration_threshold
+        )
         if threshold is None or len(self.replicas) < 2:
             return
+        drained: set[int] = set()
+        moved: set[int] = set()
         while True:
-            loads = [r.outstanding_batches() for r in self.replicas]
+            if seconds_mode:
+                loads = [
+                    r.clock + (r.expected_remaining_seconds() or 0.0)
+                    for r in self.replicas
+                ]
+            else:
+                loads = [float(r.outstanding_batches()) for r in self.replicas]
             source = max(range(len(loads)), key=loads.__getitem__)
             target = min(range(len(loads)), key=loads.__getitem__)
             skew = loads[source] - loads[target]
             if skew <= threshold:
                 return
-            adapter_id = self._pick_migration(source, target, skew)
+            adapter_id = self._pick_migration(
+                source, target, skew, seconds_mode, exclude=moved
+            )
             if adapter_id is None:
+                if self.config.drain_then_migrate and source not in drained:
+                    # One flush buys step boundaries on every active job
+                    # of the overloaded replica; retry the pick with the
+                    # post-drain loads (the drain may also retire jobs,
+                    # which can settle the skew by itself).
+                    drained.add(source)
+                    self._rebalance_drains += 1
+                    self.replicas[source].flush()
+                    continue
                 return
+            moved.add(adapter_id)
             self._migrate(adapter_id, source, target)
 
-    def _pick_migration(self, source: int, target: int, skew: int) -> int | None:
+    def _pick_migration(
+        self,
+        source: int,
+        target: int,
+        skew: float,
+        seconds_mode: bool,
+        exclude: set[int] | frozenset[int] = frozenset(),
+    ) -> int | None:
         """The job whose move best evens out ``source`` and ``target``.
 
-        Only moves that strictly reduce the skew qualify (``0 < remaining
-        < skew``); among those, the job bringing the pair closest to even
+        Each candidate is weighed in the skew's own unit -- expected
+        remaining seconds in seconds mode, remaining batches otherwise.
+        Only moves that strictly reduce the skew qualify (``0 < weight <
+        skew``); among those, the job bringing the pair closest to even
         wins -- balance is the objective, so a strictly better-balancing
         active job beats a pending one.  Pending jobs win ties only,
         because a queue move costs nothing while an active move pays a
-        state transfer.
+        state transfer; remaining ties go to the lowest adapter id, so
+        the pick is deterministic.  Jobs in ``exclude`` (already moved
+        this rebalance pass) never qualify.
         """
         target_slots = self.replicas[target].slots_free
         candidates = []
-        for adapter_id, remaining, is_pending in (
+        for adapter_id, batches, seconds, is_pending in (
             self.replicas[source].migratable_jobs()
         ):
-            if not 0 < remaining < skew:
+            if adapter_id in exclude:
+                continue
+            weight = seconds if seconds_mode else float(batches)
+            if weight is None or not 0 < weight < skew:
                 continue
             if not is_pending and target_slots == 0:
                 continue
             candidates.append(
-                (abs(skew - 2 * remaining), 0 if is_pending else 1, adapter_id)
+                (abs(skew - 2 * weight), 0 if is_pending else 1, adapter_id)
             )
         if not candidates:
             return None

@@ -302,7 +302,9 @@ class CostAwareRouting:
         def score(view: ReplicaView) -> tuple[float, float, int]:
             backlog = view.expected_remaining_time or 0.0
             marginal = (
-                self.estimator.placement_seconds(job.job, view.num_active)
+                self.estimator.placement_seconds(
+                    job.job, view.num_active, replica=view.index
+                )
                 if self.estimator is not None
                 else 0.0
             )

@@ -24,7 +24,14 @@ class StreamSplicer:
 
     Args:
         num_stages: Pipeline depth the stream must respect.
+
+    Attributes:
+        length: Microbatches emitted onto the stream so far.
+        noops_inserted: Junction no-ops added across all splices.
     """
+
+    length: int
+    noops_inserted: int
 
     def __init__(self, num_stages: int) -> None:
         self.num_stages = num_stages

@@ -1,0 +1,73 @@
+"""Every ``repro.serve`` export must carry a real docstring.
+
+The serving layer is the repository's operator-facing API surface;
+``docs/costing.md`` and ``docs/serving.md`` point readers at these
+docstrings for the contracts, so an undocumented export is a doc bug.
+Constants (plain values cannot own docstrings at runtime) must instead
+be documented with a ``#:`` comment at their definition site.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import repro.serve as serve
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_every_export_resolves():
+    for name in serve.__all__:
+        assert hasattr(serve, name), f"__all__ names missing export {name}"
+
+
+def test_every_class_and_function_export_has_a_docstring():
+    for name in serve.__all__:
+        obj = getattr(serve, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue  # constants are checked separately
+        doc = inspect.getdoc(obj)
+        assert doc and doc.strip(), f"export {name} has no docstring"
+        # A dataclass that never wrote its own docstring gets a
+        # synthesized signature string -- that is not documentation.
+        assert not doc.startswith(f"{name}("), (
+            f"export {name} only has the auto-generated dataclass "
+            "signature as its docstring"
+        )
+
+
+def test_constant_exports_have_doc_comments():
+    constants = [
+        name
+        for name in serve.__all__
+        if not (
+            inspect.isclass(getattr(serve, name))
+            or inspect.isfunction(getattr(serve, name))
+        )
+    ]
+    assert constants, "expected at least the calibration tolerances"
+    sources = {
+        path: path.read_text()
+        for path in (REPO_ROOT / "src" / "repro" / "serve").glob("*.py")
+    }
+    for name in constants:
+        documented = any(
+            re.search(rf"#:.*\n(?:#:.*\n)*{re.escape(name)}\s*=", text)
+            for text in sources.values()
+        )
+        assert documented, (
+            f"constant export {name} has no '#:' doc comment at its "
+            "definition site"
+        )
+
+
+def test_module_docstring_indexes_every_export():
+    """The package docstring is the curated API index: every export
+    appears in it (as a whole word -- a name nested inside another's,
+    like CALIBRATION_TOLERANCE inside CORRECTED_CALIBRATION_TOLERANCE,
+    does not count), so a new export cannot ship unindexed."""
+    doc = serve.__doc__
+    for name in serve.__all__:
+        assert re.search(rf"(?<![\w_]){re.escape(name)}(?![\w_])", doc), (
+            f"export {name} missing from the API index"
+        )

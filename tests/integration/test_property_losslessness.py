@@ -116,7 +116,7 @@ def test_interleaved_disturbances_preserve_losslessness(specs, actions, hold):
 
     def movable(orchestrator, adapter_id):
         return any(
-            aid == adapter_id for aid, _, _ in orchestrator.migratable_jobs()
+            aid == adapter_id for aid, *_ in orchestrator.migratable_jobs()
         )
 
     def try_inject(ticket):

@@ -101,3 +101,112 @@ class TestDeadlineFeasibilityAdmission:
     def test_rejects_non_positive_slack(self):
         with pytest.raises(ScheduleError, match="slack"):
             DeadlineFeasibilityAdmission(SlotAdmission(1), slack=0.0)
+
+
+class TestQueueingAwareAdmission:
+    def test_backlog_ignored_by_default(self):
+        gate = DeadlineFeasibilityAdmission(SlotAdmission(1))
+        view = gate_view(deadline=6.0, remaining_seconds=5.0)
+        # Service-only optimism: the job fits without the queue, so a
+        # huge backlog changes nothing unless queueing_aware is on.
+        assert gate.feasible(view, now=0.0, backlog=100.0)
+
+    def test_backlog_charged_when_queueing_aware(self):
+        gate = DeadlineFeasibilityAdmission(
+            SlotAdmission(1), queueing_aware=True
+        )
+        view = gate_view(deadline=6.0, remaining_seconds=5.0)
+        assert gate.feasible(view, now=0.0, backlog=1.0)
+        assert not gate.feasible(view, now=0.0, backlog=1.5)
+
+    def test_slack_scales_the_estimate_not_the_backlog(self):
+        gate = DeadlineFeasibilityAdmission(
+            SlotAdmission(1), slack=2.0, queueing_aware=True
+        )
+        # 2 * 2.0 estimate + 1.5 backlog = 5.5 <= 6.0: feasible; a
+        # slack that also scaled the backlog (2 * 1.5) would shed it.
+        assert gate.feasible(
+            gate_view(deadline=6.0, remaining_seconds=2.0),
+            now=0.0, backlog=1.5,
+        )
+        assert not gate.feasible(
+            gate_view(deadline=6.0, remaining_seconds=2.3),
+            now=0.0, backlog=1.5,
+        )
+
+    def test_unmeasurable_candidates_still_pass(self):
+        gate = DeadlineFeasibilityAdmission(
+            SlotAdmission(1), queueing_aware=True
+        )
+        assert gate.feasible(
+            gate_view(deadline=0.1, remaining_seconds=None),
+            now=0.0, backlog=50.0,
+        )
+
+
+class TestQueueingAwareOrchestration:
+    """End-to-end: the backlog-charging gate sheds a doomed-under-load
+    arrival that the service-only gate admits (and then serves late)."""
+
+    @staticmethod
+    def serve(queueing_aware):
+        from repro.data import synthetic_dataset
+        from repro.gpu import H100 as GPU
+        from repro.models.layer_costs import LayerCostModel
+        from repro.scheduler import AdapterJob, SchedulerConfig
+        from repro.serve import (
+            CostEstimator,
+            DeadlineOrdering,
+            OnlineOrchestrator,
+            OrchestratorConfig,
+            ServeJob,
+            StreamingSimExecutor,
+        )
+
+        num_stages = 2
+        cost = LayerCostModel(LLAMA3_8B, GPU, strategy="fused_multi")
+        sched = SchedulerConfig(capacity=8192, num_stages=num_stages,
+                                use_milp=False)
+        estimator = CostEstimator.for_scheduler(cost, sched)
+        light = AdapterJob(2, synthetic_dataset(2, "xsum", 32, seed=3), 8)
+        workload = [
+            # Two deadline-free heavy residents hold the pipeline, so
+            # the wave backlog ahead of any later arrival is large.
+            ServeJob(
+                job=AdapterJob(
+                    a, synthetic_dataset(a, "wikisum", 32, seed=3), 8
+                ),
+                arrival_time=0.0,
+            )
+            for a in range(2)
+        ] + [
+            # Arrives mid-run; its deadline comfortably fits its solo
+            # service time (the service-only gate admits it at the next
+            # wave boundary) but not the residents' planned backlog
+            # (the queueing-aware gate sheds it there instead).
+            ServeJob(job=light, arrival_time=0.01,
+                     deadline=0.01 + 4.0 * estimator.job_seconds(light)),
+        ]
+        config = OrchestratorConfig(
+            scheduler=sched,
+            window_batches=1,
+            admission=DeadlineFeasibilityAdmission(
+                SlotAdmission(3), queueing_aware=queueing_aware
+            ),
+            ordering=DeadlineOrdering(),
+            estimator=estimator,
+        )
+        orchestrator = OnlineOrchestrator(
+            StreamingSimExecutor(cost, num_stages), config
+        )
+        result = orchestrator.run(workload)
+        assert result.violations == 0
+        return result
+
+    def test_queueing_aware_sheds_what_service_only_serves_late(self):
+        service = self.serve(queueing_aware=False)
+        queueing = self.serve(queueing_aware=True)
+        assert service.rejected == 0
+        assert service.records[2].deadline_missed is True
+        assert queueing.rejected == 1
+        assert queueing.records[2].rejected_time is not None

@@ -203,6 +203,135 @@ class TestRebalancing:
             r.finish_time is not None for r in result.records.values()
         )
 
+    def test_single_replica_rebalance_is_a_noop(self):
+        # Edge case: with one replica there is no pair to even out, so
+        # a (very trigger-happy) seconds-skew threshold never fires.
+        scheduler = SchedulerConfig(capacity=8192, num_stages=NUM_STAGES,
+                                    use_milp=False)
+        from repro.serve import CostEstimator
+
+        config = ReplicaSetConfig(
+            orchestrator=OrchestratorConfig(
+                scheduler=scheduler,
+                window_batches=1,
+                admission=SlotAdmission(4),
+                estimator=CostEstimator.for_scheduler(COST, scheduler),
+            ),
+            migration_time_threshold=0.0,
+            drain_then_migrate=True,
+        )
+        replica_set = ReplicaSet(
+            [StreamingSimExecutor(COST, NUM_STAGES)], config
+        )
+        result = replica_set.run(poisson(make_jobs(3)))
+        assert result.migrations == 0
+        assert result.reroutes == 0
+        assert result.rebalance_drains == 0
+        assert all(r.finish_time is not None for r in result.records.values())
+
+    def deep_pipeline_set(self, drain):
+        """Two admitted jobs on replica 0, a 4-stage pipeline, no
+        pendings: between steps the wave tail is always in flight, so
+        without a drain nothing is migratable."""
+        from repro.serve import CostEstimator
+
+        num_stages = 4
+        scheduler = SchedulerConfig(capacity=8192, num_stages=num_stages,
+                                    use_milp=False)
+        config = ReplicaSetConfig(
+            orchestrator=OrchestratorConfig(
+                scheduler=scheduler,
+                window_batches=1,
+                admission=SlotAdmission(2),
+                estimator=CostEstimator.for_scheduler(COST, scheduler),
+            ),
+            routing=StickyRouting(),
+            migration_time_threshold=0.05,
+            drain_then_migrate=drain,
+        )
+        executors = [StreamingSimExecutor(COST, num_stages) for _ in range(2)]
+        replica_set = ReplicaSet(executors, config)
+        workload = [
+            ServeJob(job=job, arrival_time=0.0)
+            for job in make_jobs(2, samples=24, gbs=4)
+        ]
+        return replica_set, workload
+
+    def test_deep_pipeline_falls_back_to_pending_reroutes(self):
+        replica_set, workload = self.deep_pipeline_set(drain=False)
+        result = replica_set.run(workload)
+        # The in-flight wave tail blocks *active* migration at every
+        # check, so the only rebalancing a deep pipeline gets without a
+        # drain is queue moves of still-pending arrivals.
+        assert result.migrations == 0
+        assert result.reroutes >= 1
+        assert result.rebalance_drains == 0
+        assert all(r.finish_time is not None for r in result.records.values())
+
+    def test_drain_then_migrate_unlocks_the_deep_pipeline(self):
+        replica_set, workload = self.deep_pipeline_set(drain=True)
+        result = replica_set.run(workload)
+        assert result.rebalance_drains >= 1
+        assert result.migrations >= 1
+        assert result.violations == 0
+        assert all(r.finish_time is not None for r in result.records.values())
+        # The migrated job really finished on the other pipeline.
+        assert any(r.replica == 1 for r in result.records.values())
+
+    def test_seconds_skew_tie_picks_lowest_adapter_id(self):
+        # Edge case: two migrants even the seconds gap equally well; the
+        # pick must be deterministic (pending beats active, then lowest
+        # adapter id) so reruns rebalance identically.
+        class StubReplica:
+            def __init__(self, jobs, slots_free):
+                self._jobs = jobs
+                self.slots_free = slots_free
+
+            def migratable_jobs(self):
+                return self._jobs
+
+        replica_set = make_set(2)
+        replica_set.replicas = [
+            StubReplica(
+                [
+                    (7, 4, 1.0, False),  # active, evens gap to |3-2|=1
+                    (3, 4, 1.0, True),   # pending, same weight: wins
+                    (5, 4, 1.0, True),   # pending, same weight, higher id
+                    (1, 4, 2.9, True),   # would overshoot: |3-5.8|=2.8
+                ],
+                slots_free=2,
+            ),
+            StubReplica([], slots_free=2),
+        ]
+        pick = replica_set._pick_migration(0, 1, skew=3.0, seconds_mode=True)
+        assert pick == 3
+        # Same weights, no pendings: the active tie breaks by id too.
+        replica_set.replicas[0]._jobs = [
+            (9, 4, 1.0, False), (6, 4, 1.0, False),
+        ]
+        assert replica_set._pick_migration(0, 1, 3.0, True) == 6
+        # Seconds mode refuses unpriced candidates outright.
+        replica_set.replicas[0]._jobs = [(2, 4, None, True)]
+        assert replica_set._pick_migration(0, 1, 3.0, True) is None
+
+    def test_time_threshold_requires_estimator(self):
+        config = OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=8192, num_stages=NUM_STAGES,
+                                      use_milp=False),
+            window_batches=1,
+        )
+        with pytest.raises(ScheduleError, match="estimator"):
+            ReplicaSetConfig(orchestrator=config, migration_time_threshold=1.0)
+
+    def test_drain_requires_a_trigger(self):
+        config = OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=8192, num_stages=NUM_STAGES,
+                                      use_milp=False),
+            window_batches=1,
+        )
+        with pytest.raises(ScheduleError, match="drain_then_migrate"):
+            ReplicaSetConfig(orchestrator=config, drain_then_migrate=True)
+
     def test_threshold_none_never_migrates(self):
         replica_set = make_set(2, routing=StickyRouting(), threshold=None)
         result = replica_set.run(self.sticky_workload())
