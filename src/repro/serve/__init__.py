@@ -66,6 +66,20 @@ contracts):
     :class:`PriorityOrdering` / :class:`DeadlineOrdering` -- arrival
     order, shortest-remaining (batches or priced seconds), SLO classes,
     EDF/least-laxity; all but FCFS take an aging starvation bound.
+  * :func:`policy_keys` -- rank a whole candidate set at once
+    (vectorized for shipped policies, scalar fallback for custom ones).
+
+**Fleet kernel** (``docs/architecture.md`` section "The fleet kernel")
+  * :class:`EventKernel` -- the discrete-event heart of
+    :class:`ReplicaSet`: one global clock, a deterministic event heap,
+    an immediate control lane.
+  * :class:`Event` -- one scheduled occurrence (time, kind, lane, seq;
+    lazily cancellable).
+  * :class:`EventKind` -- the event taxonomy: arrival, wave close,
+    rebalance, migration, flush.
+  * :class:`FleetArrays` -- column mirror of the fleet's routing views,
+    kept fresh by the kernel's dirty-set caching so array-aware routing
+    skips per-arrival attribute extraction.
 
 **Costing** (``docs/costing.md``)
   * :class:`CostEstimator` -- prices jobs/placements/waves in expected
@@ -113,6 +127,7 @@ from repro.serve.costing import (
     CostEstimator,
     TenantProfile,
 )
+from repro.serve.events import Event, EventKernel, EventKind
 from repro.serve.executors import (
     Executor,
     NumericExecutor,
@@ -134,10 +149,12 @@ from repro.serve.ordering import (
     OrderingPolicy,
     PriorityOrdering,
     SRPTOrdering,
+    policy_keys,
 )
 from repro.serve.replicaset import ReplicaSet, ReplicaSetConfig
 from repro.serve.router import (
     CostAwareRouting,
+    FleetArrays,
     LeastLoadedRouting,
     PackingAffinityRouting,
     PriorityHeadroomRouting,
@@ -158,8 +175,12 @@ __all__ = [
     "CostEstimator",
     "DeadlineFeasibilityAdmission",
     "DeadlineOrdering",
+    "Event",
+    "EventKernel",
+    "EventKind",
     "Executor",
     "FCFSOrdering",
+    "FleetArrays",
     "JobOutcome",
     "JobRecord",
     "JobView",
@@ -189,4 +210,5 @@ __all__ = [
     "TenantProfile",
     "TenantRouter",
     "poisson_workload",
+    "policy_keys",
 ]

@@ -46,7 +46,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.distsim.systems import stage_times
 from repro.errors import ScheduleError
@@ -113,14 +115,23 @@ class TenantProfile:
 
         Cheap to call in hot decision loops: the dataset caches its
         length moments
-        (:meth:`~repro.data.dataset.FinetuneDataset.length_moments`).
+        (:meth:`~repro.data.dataset.FinetuneDataset.length_moments`),
+        and the built profile itself is cached on the dataset (keyed by
+        the batch size, the only other input) so repeated pricing of
+        the same tenant skips construction and validation entirely.
         """
-        mean, mean_sq = job.dataset.length_moments()
-        return cls(
+        dataset = job.dataset
+        cached = dataset.__dict__.get("_tenant_profile")
+        if cached is not None and cached[0] == job.global_batch_size:
+            return cached[1]
+        mean, mean_sq = dataset.length_moments()
+        profile = cls(
             mean_length=mean,
             mean_sq_length=mean_sq,
-            batch_samples=len(job.dataset) / job.num_global_batches(),
+            batch_samples=len(dataset) / job.num_global_batches(),
         )
+        dataset.__dict__["_tenant_profile"] = (job.global_batch_size, profile)
+        return profile
 
 
 @dataclass
@@ -165,6 +176,8 @@ class CalibrationTracker:
     max_correction: float = 4.0
     _tenant: dict[int, float] = field(default_factory=dict, repr=False)
     _replica: dict[int, float] = field(default_factory=dict, repr=False)
+    _version: int = field(default=0, repr=False)
+    _last_tenants: tuple[int, ...] = field(default=(), repr=False)
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
@@ -199,11 +212,37 @@ class CalibrationTracker:
         """
         if predicted <= 0 or observed <= 0:
             return
+        tenants = tuple(tenants)
         ratio = observed / predicted
         for adapter_id in tenants:
             self._fold(self._tenant, adapter_id, ratio)
         if replica is not None:
             self._fold(self._replica, replica, ratio)
+        self._version += 1
+        self._last_tenants = tenants
+
+    @property
+    def version(self) -> int:
+        """Observations folded so far (a cache-invalidation stamp).
+
+        Corrections change only inside :meth:`observe`, so a caller
+        caching prices derived from this tracker can compare versions
+        instead of snapshotting factor tables -- the event-driven fleet
+        kernel uses it to notice when a wave close on one replica
+        repriced a tenant that has since migrated elsewhere.
+        """
+        return self._version
+
+    @property
+    def last_observed_tenants(self) -> tuple[int, ...]:
+        """Tenants whose factors the most recent :meth:`observe` folded.
+
+        Paired with :attr:`version`: when exactly one observation
+        landed since a caller's snapshot, these are the only tenants
+        whose prices can have changed (plus the observing replica's own
+        fallback factor).
+        """
+        return self._last_tenants
 
     def correction(
         self, adapter_id: int | None = None, replica: int | None = None
@@ -220,6 +259,16 @@ class CalibrationTracker:
         if replica is not None and replica in self._replica:
             return self._replica[replica]
         return 1.0
+
+    def tracks_tenant(self, adapter_id: int) -> bool:
+        """Whether a per-tenant factor exists for ``adapter_id``.
+
+        When it does, :meth:`correction` returns that factor regardless
+        of the ``replica`` argument -- the batched pricing paths use
+        this to collapse a per-replica correction gather into one scalar
+        multiply.
+        """
+        return adapter_id in self._tenant
 
     def tenant_corrections(self) -> dict[int, float]:
         """Current per-tenant factors (a copy; introspection/reporting)."""
@@ -278,6 +327,14 @@ class CostEstimator:
         self.capacity = capacity
         self.padding_multiple = padding_multiple
         self.calibration = calibration
+        # Hot-path memos.  Every entry is a pure function of its key
+        # (profiles are frozen, the cost model is fixed at construction),
+        # so memoization changes no price -- it only collapses the
+        # per-decision stage-time arithmetic that otherwise dominates
+        # fleet-scale control loops.
+        self._terms_cache: dict[tuple[TenantProfile, int], tuple[int, float]] = {}
+        self._wave_terms_cache: dict[TenantProfile, tuple[int, float, float]] = {}
+        self._step_cache: float | None = None
 
     @classmethod
     def for_scheduler(
@@ -347,9 +404,43 @@ class CostEstimator:
     def _batch_terms(
         self, profile: TenantProfile, num_adapters: int
     ) -> tuple[int, float]:
-        """``(microbatches, seconds per microbatch)`` of one global batch."""
-        num_mbs, shape = self._batch_shape(profile, num_adapters)
-        return num_mbs, self.microbatch_seconds(shape)
+        """``(microbatches, seconds per microbatch)`` of one global batch.
+
+        Memoized per ``(profile, concurrency)``: the stage-time sweep
+        behind :meth:`microbatch_seconds` is the expensive part of every
+        job/placement price, and fleets re-price the same tenants
+        constantly.
+        """
+        key = (profile, num_adapters)
+        terms = self._terms_cache.get(key)
+        if terms is None:
+            num_mbs, shape = self._batch_shape(profile, num_adapters)
+            terms = (num_mbs, self.microbatch_seconds(shape))
+            self._terms_cache[key] = terms
+        return terms
+
+    def _wave_terms(self, profile: TenantProfile) -> tuple[int, float, float]:
+        """``(microbatches, bottleneck seconds, roundtrip seconds)`` memo.
+
+        The per-profile terms :meth:`wave_seconds` combines (waves price
+        every tenant at concurrency 1), cached like :meth:`_batch_terms`.
+        """
+        terms = self._wave_terms_cache.get(profile)
+        if terms is None:
+            num_mbs, shape = self._batch_shape(profile, 1)
+            terms = (
+                num_mbs,
+                self.microbatch_seconds(shape),
+                self.roundtrip_seconds(shape),
+            )
+            self._wave_terms_cache[profile] = terms
+        return terms
+
+    def _step_seconds(self) -> float:
+        """The (fixed) optimizer-step price, computed once."""
+        if self._step_cache is None:
+            self._step_cache = self.cost.optimizer_step_time()
+        return self._step_cache
 
     # -- decision prices ----------------------------------------------------
 
@@ -363,7 +454,7 @@ class CostEstimator:
                 alone, the scheduler's common case).
         """
         num_mbs, mb_seconds = self._batch_terms(profile, num_adapters)
-        return num_mbs * mb_seconds + self.cost.optimizer_step_time()
+        return num_mbs * mb_seconds + self._step_seconds()
 
     def job_seconds(
         self,
@@ -406,6 +497,117 @@ class CostEstimator:
         """
         return self.job_seconds(job, num_adapters=num_active + 1, replica=replica)
 
+    # -- batched prices (candidate sets) ------------------------------------
+
+    def job_seconds_batch(
+        self,
+        jobs: Sequence[AdapterJob],
+        remaining_batches: Sequence[int | None] | None = None,
+        num_adapters: int = 1,
+        replica: int | None = None,
+    ) -> np.ndarray:
+        """Price many jobs at once; element ``i`` equals
+        ``job_seconds(jobs[i], remaining_batches[i], num_adapters,
+        replica)`` **exactly** (bit-for-bit -- the property
+        ``tests/serve/test_vectorized.py`` asserts).
+
+        The per-job raw prices come from the same memoized batch terms
+        the scalar path uses, and the calibration corrections are
+        applied as one elementwise array multiply -- IEEE-754 double
+        multiplication either way, so vectorization cannot perturb a
+        ranking.
+
+        Args:
+            jobs: The candidate jobs.
+            remaining_batches: Per-job batches left (``None`` entries --
+                or ``None`` for the whole argument -- price the full
+                job).
+            num_adapters: Concurrency every candidate is priced at.
+            replica: Calibration fallback key, as in :meth:`job_seconds`.
+
+        Returns:
+            A float64 array of expected seconds, one per job.
+        """
+        raw = np.empty(len(jobs), dtype=np.float64)
+        for i, job in enumerate(jobs):
+            left = remaining_batches[i] if remaining_batches is not None else None
+            batches = job.num_global_batches() if left is None else left
+            if batches <= 0:
+                raw[i] = 0.0
+                continue
+            num_mbs, mb_seconds = self._batch_terms(
+                TenantProfile.from_job(job), num_adapters
+            )
+            raw[i] = batches * (num_mbs * mb_seconds + self._step_seconds())
+        if self.calibration is None:
+            return raw
+        corrections = np.fromiter(
+            (
+                self.calibration.correction(adapter_id=job.adapter_id, replica=replica)
+                for job in jobs
+            ),
+            dtype=np.float64,
+            count=len(jobs),
+        )
+        return raw * corrections
+
+    def placement_seconds_batch(
+        self,
+        job: AdapterJob,
+        num_active: "Sequence[int] | np.ndarray",
+        replicas: "Sequence[int | None] | np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Price one arrival against many candidate replicas at once.
+
+        Element ``i`` equals ``placement_seconds(job, num_active[i],
+        replicas[i])`` **exactly** -- this is the array op that turns a
+        1000-replica routing decision from a thousand estimator calls
+        into one distinct-concurrency sweep (fleets concentrate on few
+        distinct ``num_active`` values, each priced once) plus an
+        elementwise correction multiply.
+
+        Args:
+            job: The arriving job.
+            num_active: Per-candidate active-job counts (the job would
+                run at ``num_active[i] + 1`` adapters there).
+            replicas: Per-candidate replica ids for the calibration
+                fallback factor (``None`` skips it).
+
+        Returns:
+            A float64 array of marginal expected seconds, one per
+            candidate.
+        """
+        batches = job.num_global_batches()
+        raw = np.empty(len(num_active), dtype=np.float64)
+        if batches <= 0:
+            raw.fill(0.0)
+        else:
+            profile = TenantProfile.from_job(job)
+            active = np.asarray(num_active, dtype=np.int64)
+            for value in np.unique(active):
+                num_mbs, mb_seconds = self._batch_terms(profile, int(value) + 1)
+                price = batches * (num_mbs * mb_seconds + self._step_seconds())
+                raw[active == value] = price
+        if self.calibration is None:
+            return raw
+        if self.calibration.tracks_tenant(job.adapter_id):
+            # The tenant factor shadows every replica factor: one scalar
+            # multiply replaces the per-candidate gather.
+            return raw * self.calibration.correction(adapter_id=job.adapter_id)
+        if replicas is None:
+            replicas = [None] * len(num_active)
+        corrections = np.fromiter(
+            (
+                self.calibration.correction(
+                    adapter_id=job.adapter_id, replica=replica
+                )
+                for replica in replicas
+            ),
+            dtype=np.float64,
+            count=len(num_active),
+        )
+        return raw * corrections
+
     def wave_seconds(
         self,
         entries: list[tuple[TenantProfile, int]],
@@ -437,14 +639,13 @@ class CostEstimator:
         for profile, batches in entries:
             if batches <= 0:
                 continue
-            num_mbs, shape = self._batch_shape(profile, 1)
-            mb_seconds = self.microbatch_seconds(shape)
-            step = self.cost.optimizer_step_time()
+            num_mbs, mb_seconds, roundtrip = self._wave_terms(profile)
+            step = self._step_seconds()
             total += batches * (num_mbs * mb_seconds + step)
             total_mbs += batches * num_mbs
             chain = batches * (
                 (num_mbs - 1) * mb_seconds
-                + self.roundtrip_seconds(shape)
+                + roundtrip
                 + step
             )
             longest_chain = max(longest_chain, chain)

@@ -166,6 +166,15 @@ class NumericExecutor:
     def drain(self) -> list[StepEvent]:
         return []  # execution is synchronous; nothing is in flight
 
+    def drain_job(self, adapter_id: int) -> list[StepEvent]:
+        """Partial drain: a no-op here, since nothing is ever in flight.
+
+        Provided so coordinators can call the partial-drain unlock
+        uniformly; synchronous execution steps every batch at submit
+        time, so there is never a pipeline tail to cut short.
+        """
+        return []
+
     def advance(self, time: float) -> None:
         self._clock = max(self._clock, time)
 
@@ -295,13 +304,17 @@ class StreamingSimExecutor:
             self._finish("fwd", s, i, begin, record.fwd[s])
 
         # Backwards unlocked by this submission (1F1B pairing), last stage
-        # first so each stage's dependency is already resolved.
+        # first so each stage's dependency is already resolved.  A
+        # partial drain (drain_job) may have forced some of these early;
+        # they are done, not pending, so the pairing skips them.
         events: list[StepEvent] = []
         for s in reversed(range(s_count)):
             k_local = local - (s_count - s - 1)
             if k_local < 0:
                 continue
             k = self._segment_start + k_local
+            if (s, k) in self._bwd_end:
+                continue
             events.extend(self._run_backward(s, k))
         for key in record.counts:
             self._last_of_batch.setdefault(key, []).append(i)
@@ -327,6 +340,40 @@ class StreamingSimExecutor:
             key: end for key, end in self._bwd_end.items() if key[1] in live
         }
         self._segment_start = n
+        return events
+
+    def drain_job(self, adapter_id: int) -> list[StepEvent]:
+        """Run the cooldown only through ``adapter_id``'s last microbatch.
+
+        The partial counterpart of :meth:`drain`: backwards are forced
+        in the same (microbatch-ascending, stage-descending) order, but
+        only up to the last in-flight microbatch carrying ``adapter_id``
+        -- once that one's stage-0 backward has run, every submitted
+        batch of the adapter has stepped and it sits at an
+        optimizer-step boundary.  Microbatches after it stay in flight:
+        no bookkeeping is pruned and the 1F1B segment continues, with
+        :meth:`submit`'s pairing skipping the backwards already forced
+        here.  An adapter with nothing in flight drains nothing.
+
+        Args:
+            adapter_id: The adapter to bring to a step boundary.
+
+        Returns:
+            Optimizer steps the partial cooldown completed (any
+            adapter's -- earlier microbatches may finish other tenants'
+            batches on the way).
+        """
+        n = self._submitted
+        start = max(self._segment_start, n - self.num_stages + 1)
+        last = -1
+        for index in range(start, n):
+            if any(key[0] == adapter_id for key in self._mbs[index].counts):
+                last = index
+        events: list[StepEvent] = []
+        for k in range(start, last + 1):
+            for s in reversed(range(self.num_stages)):
+                if (s, k) not in self._bwd_end:
+                    events.extend(self._run_backward(s, k))
         return events
 
     def advance(self, time: float) -> None:

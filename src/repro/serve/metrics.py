@@ -333,10 +333,21 @@ class ReplicaSetResult(_LatencyAggregates):
         records: All jobs' lifecycle records merged across replicas.
         migrations: Active jobs moved between replicas (state transfers).
         reroutes: Pending jobs moved between replicas (queue moves only).
-        rebalance_drains: Pipeline flushes the rebalancer paid to bring
+        rebalance_drains: Pipeline drains the rebalancer paid to bring
             a deep pipeline's active jobs to step boundaries
             (``drain_then_migrate``); each one bought the chance to
-            migrate, at the price of flush bubbles.
+            migrate, at the price of drain bubbles.
+        drain_steps_saved: Optimizer steps the *partial* drains among
+            those left un-forced: scheduled-but-unstepped batches still
+            in flight after each
+            :meth:`~repro.serve.orchestrator.OnlineOrchestrator.drain_for`,
+            i.e. work a full flush would have dragged to completion
+            early.  0 when every drain fell back to a full flush.
+        events_processed: Events the discrete-event fleet kernel
+            processed, by :class:`~repro.serve.events.EventKind` name
+            (empty under the lockstep reference loop) -- the numerator
+            of the events/sec throughput
+            ``benchmarks/bench_fleet_kernel.py`` gates.
     """
 
     replicas: list[OrchestratorResult] = field(default_factory=list)
@@ -344,6 +355,8 @@ class ReplicaSetResult(_LatencyAggregates):
     migrations: int = 0
     reroutes: int = 0
     rebalance_drains: int = 0
+    drain_steps_saved: int = 0
+    events_processed: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.replicas:

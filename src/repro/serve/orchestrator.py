@@ -62,6 +62,7 @@ from repro.serve.ordering import (
     FCFSOrdering,
     JobView,
     OrderingPolicy,
+    policy_keys,
     validate_policy,
 )
 from repro.serve.splice import StreamSplicer
@@ -371,23 +372,23 @@ class OnlineOrchestrator:
         Candidates are due pending arrivals plus every parked
         (preempted) job; the returned pairs are ``(policy key,
         adapter id)``, sorted so index 0 is the next job to admit.
+        The whole set is ranked in one :func:`~repro.serve.ordering
+        .policy_keys` call -- vectorized for the shipped policies,
+        per-job for custom ones -- with keys identical to the scalar
+        path.
         """
         now = self.executor.clock
-        candidates = []
+        views = []
         for job in self._pending:
             if job.arrival_time > now:
                 break  # _pending is arrival-sorted
-            candidates.append(
-                (self._policy.key(self._pending_view(job), now), job.adapter_id)
-            )
+            views.append(self._pending_view(job))
         for parked in self._parked.values():
-            candidates.append(
-                (
-                    self._policy.key(self._parked_view(parked), now),
-                    parked.serve_job.adapter_id,
-                )
-            )
-        return sorted(candidates)
+            views.append(self._parked_view(parked))
+        keys = policy_keys(self._policy, views, now)
+        return sorted(
+            (key, view.adapter_id) for key, view in zip(keys, views)
+        )
 
     def _preemption_victim(self, key: tuple[float, ...]) -> int | None:
         """The active job a candidate ranked ``key`` may evict.
@@ -1144,6 +1145,62 @@ class OnlineOrchestrator:
             candidates.append((aid, batches, seconds, False))
         return candidates
 
+    def drainable_jobs(self) -> list[tuple[int, int, float | None]]:
+        """Mid-flight active jobs a partial drain could unlock for moving.
+
+        The complement of the active entries in :meth:`migratable_jobs`:
+        jobs holding slots whose scheduled batches have not all stepped
+        yet, so :meth:`eject_job` refuses them *now* but a
+        :meth:`drain_for` on them would bring them to a boundary.
+
+        Returns:
+            ``(adapter_id, remaining_batches, remaining_seconds)``
+            tuples, priced exactly like :meth:`migratable_jobs`
+            (``remaining_seconds`` is ``None`` without an estimator).
+        """
+        candidates = []
+        for aid, state in self._active.items():
+            if state.finished or state.steps_completed == state.next_batch:
+                continue
+            batches = state.num_batches - state.steps_completed
+            seconds = self._remaining_seconds(state.serve_job.job, batches)
+            candidates.append((aid, batches, seconds))
+        return candidates
+
+    def drain_for(self, adapter_id: int) -> int:
+        """Drain only until ``adapter_id``'s submitted batches step.
+
+        The partial ``drain_then_migrate`` unlock: a full :meth:`flush`
+        forces *every* in-flight microbatch to completion, paying
+        cooldown bubbles for tenants nobody wants to move.  This drains
+        the pipeline just far enough that the chosen migrant's last
+        submitted batch has stepped -- the migrant reaches an
+        optimizer-step boundary and becomes ejectable while the other
+        tenants' pipeline tails stay in flight.  Executors that cannot
+        drain partially (no ``drain_job`` method) fall back to the full
+        drain, so the unlock always succeeds.  Retirements the drain
+        completes are processed normally.
+
+        Args:
+            adapter_id: The mid-flight active job to bring to a
+                boundary (from :meth:`drainable_jobs`).
+
+        Returns:
+            Scheduled-but-unstepped batches still in flight afterwards
+            across all active jobs -- the optimizer steps a full flush
+            would have forced early, i.e. the work the partial drain
+            saved (0 under the full-drain fallback).
+        """
+        drain_job = getattr(self.executor, "drain_job", None)
+        if drain_job is None:
+            self._handle_events(self.executor.drain())
+        else:
+            self._handle_events(drain_job(adapter_id))
+        return sum(
+            state.next_batch - state.steps_completed
+            for state in self._active.values()
+        )
+
     def flush(self) -> int:
         """Drain the pipeline so every active job reaches a step boundary.
 
@@ -1153,7 +1210,9 @@ class OnlineOrchestrator:
         :meth:`eject_job` refuses them.  Draining completes every
         submitted microbatch (paying the flush bubbles), after which all
         active jobs are at optimizer-step boundaries and migratable.
-        Retirements the drain completes are processed normally.
+        Retirements the drain completes are processed normally.  See
+        :meth:`drain_for` for the partial variant that stops once one
+        chosen job reaches its boundary.
 
         Returns:
             Jobs retired by the drain.

@@ -8,13 +8,31 @@ pluggable :class:`~repro.serve.router.RoutingPolicy`, and -- when the
 load skew between replicas exceeds a threshold -- *migrates* jobs
 between pipelines.
 
-Virtual time across replicas is coordinated event-style: the set always
-advances the busiest-behind replica (smallest clock among those with
-work) until every working replica has reached the next arrival's
-timestamp, then routes that arrival against fresh load views.  Routing
-decisions therefore see each replica's state as of (approximately) the
-arrival instant, which is what makes least-loaded and packing-affinity
-policies meaningful.
+Two fleet loops implement the same semantics, selected by
+:attr:`ReplicaSetConfig.kernel`:
+
+* ``"event"`` (the default) runs on the discrete-event kernel of
+  :mod:`repro.serve.events`: arrivals and per-replica wave closes are
+  typed events on one global heap, control work (rebalance checks,
+  migrations, drains) runs on the kernel's immediate lane, and
+  per-replica load/view snapshots are cached and invalidated only when
+  an event actually mutates that replica.  Finding the next actor is
+  O(log n) instead of an O(n) clock scan, which is what makes
+  100-1000-replica traces replayable
+  (``benchmarks/bench_fleet_kernel.py`` gates the speedup).
+* ``"lockstep"`` is the original reference loop: every iteration scans
+  all replicas, advances the furthest-behind working one (smallest
+  clock, then index) until every working replica has reached the next
+  arrival's timestamp, then routes that arrival against fresh load
+  views.  It recomputes everything from scratch each iteration, so it
+  is trivially correct -- and the equivalence oracle: both kernels
+  produce **bit-identical** results (same records, same migration
+  decisions, same calibration record;
+  ``tests/integration/test_event_kernel_equivalence.py``).
+
+Both loops route each arrival against replica state as of the arrival
+instant, which is what makes least-loaded and packing-affinity policies
+meaningful.
 
 Migration is lossless.  A pending job moves as a queue entry (a
 *reroute*); an admitted job moves between waves as a
@@ -32,14 +50,19 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import cast
+
+import numpy as np
 
 from repro.errors import ScheduleError
+from repro.serve.events import Event, EventKernel, EventKind
 from repro.serve.executors import Executor
 from repro.serve.jobs import ServeJob
 from repro.serve.metrics import JobRecord, ReplicaSetResult
 from repro.serve.orchestrator import OnlineOrchestrator, OrchestratorConfig
 from repro.serve.router import (
+    FleetArrays,
     LeastLoadedRouting,
     ReplicaView,
     RoutingPolicy,
@@ -47,6 +70,29 @@ from repro.serve.router import (
 )
 
 __all__ = ["ReplicaSetConfig", "ReplicaSet"]
+
+#: The fleet-loop implementations :attr:`ReplicaSetConfig.kernel` accepts.
+_KERNELS = ("event", "lockstep")
+
+#: A planned rebalance action: ``("migrate", adapter_id, source, target)``
+#: or ``("drain", source, migrant_or_None)``; ``None`` ends the pass.
+_RebalanceAction = tuple
+
+
+@dataclass
+class _RebalancePass:
+    """One rebalance pass's bookkeeping, carried through posted events.
+
+    The lockstep loop keeps these sets as locals of one synchronous
+    ``_rebalance()`` call; the event kernel threads the same state
+    through its REBALANCE/MIGRATION/FLUSH event chain so a pass has
+    identical once-per-job and once-per-replica bounds in both modes.
+    """
+
+    #: Adapters already moved this pass (a job moves at most once).
+    moved: set[int] = field(default_factory=set)
+    #: Replicas already drained this pass (a replica drains at most once).
+    drained: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -81,13 +127,26 @@ class ReplicaSetConfig:
             disables the seconds-skew trigger.
         drain_then_migrate: When a triggered rebalance finds no movable
             job -- under a deep pipeline the wave tail is usually in
-            flight, so active jobs are not at step boundaries -- pay one
-            pipeline flush on the overloaded replica
-            (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.flush`)
-            to bring them to boundaries and retry.  Off by default: the
-            flush costs bubbles, so leave it off unless rebalances are
-            visibly starving (``ReplicaSetResult.rebalance_drains``
-            counts the flushes paid).
+            flight, so active jobs are not at step boundaries -- pay a
+            pipeline drain on the overloaded replica to bring a migrant
+            to a boundary and retry.  When a specific mid-flight job is
+            worth moving, the drain is *partial*
+            (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.drain_for`):
+            it stops once that job's submitted batches have stepped,
+            leaving the other tenants' pipeline tails in flight --
+            ``ReplicaSetResult.drain_steps_saved`` counts the optimizer
+            steps a full flush would have forced early.  Only when no
+            single candidate qualifies does the set fall back to the
+            full flush
+            (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.flush`).
+            Off by default: even a partial drain costs bubbles, so
+            leave it off unless rebalances are visibly starving
+            (``ReplicaSetResult.rebalance_drains`` counts the drains
+            paid).
+        kernel: Which fleet loop serves the run: ``"event"`` (the
+            discrete-event kernel, the default) or ``"lockstep"`` (the
+            original reference loop).  Results are bit-identical; the
+            event kernel is the fast one (see the module docstring).
     """
 
     orchestrator: OrchestratorConfig
@@ -95,6 +154,7 @@ class ReplicaSetConfig:
     migration_threshold: int | None = None
     migration_time_threshold: float | None = None
     drain_then_migrate: bool = False
+    kernel: str = "event"
 
     def __post_init__(self) -> None:
         if self.migration_threshold is not None and self.migration_threshold < 0:
@@ -117,6 +177,10 @@ class ReplicaSetConfig:
                 "drain_then_migrate without a migration threshold would "
                 "never fire; set migration_threshold or "
                 "migration_time_threshold"
+            )
+        if self.kernel not in _KERNELS:
+            raise ScheduleError(
+                f"unknown fleet kernel {self.kernel!r}; choose from {_KERNELS}"
             )
 
 
@@ -143,12 +207,37 @@ class ReplicaSet:
         self._migrations = 0
         self._reroutes = 0
         self._rebalance_drains = 0
+        self._drain_steps_saved = 0
+        self._events_processed: dict[str, int] = {}
         self._ran = False
 
     @property
     def num_replicas(self) -> int:
         """Pipeline replicas in the set."""
         return len(self.replicas)
+
+    def _replica_view(self, index: int) -> ReplicaView:
+        """One replica's current :class:`~repro.serve.router.ReplicaView`.
+
+        A pure function of the replica's state: the event kernel caches
+        the result and recomputes only after an event mutates that
+        replica, which is safe exactly because nothing here depends on
+        other replicas.
+        """
+        replica = self.replicas[index]
+        return ReplicaView(
+            index=index,
+            clock=replica.clock,
+            outstanding_batches=replica.outstanding_batches(),
+            num_active=replica.num_active,
+            num_pending=replica.num_pending,
+            num_parked=replica.num_parked,
+            slots_free=replica.slots_free,
+            live_mean_lengths=tuple(replica.live_mean_lengths()),
+            live_priorities=tuple(replica.live_priorities()),
+            expected_remaining_time=replica.expected_remaining_seconds(),
+            expected_wave_time=replica.expected_wave_seconds(),
+        )
 
     def views(self) -> list[ReplicaView]:
         """Current load snapshot of every replica, in index order.
@@ -160,22 +249,7 @@ class ReplicaSet:
         priced in expected seconds (``expected_remaining_time``,
         ``expected_wave_time``) for cost-aware policies.
         """
-        return [
-            ReplicaView(
-                index=index,
-                clock=replica.clock,
-                outstanding_batches=replica.outstanding_batches(),
-                num_active=replica.num_active,
-                num_pending=replica.num_pending,
-                num_parked=replica.num_parked,
-                slots_free=replica.slots_free,
-                live_mean_lengths=tuple(replica.live_mean_lengths()),
-                live_priorities=tuple(replica.live_priorities()),
-                expected_remaining_time=replica.expected_remaining_seconds(),
-                expected_wave_time=replica.expected_wave_seconds(),
-            )
-            for index, replica in enumerate(self.replicas)
-        ]
+        return [self._replica_view(index) for index in range(len(self.replicas))]
 
     # -- the serving loop ---------------------------------------------------
 
@@ -199,9 +273,35 @@ class ReplicaSet:
             raise ScheduleError(f"duplicate adapter ids in workload: {ids}")
         for replica in self.replicas:
             replica.start([])
-        arrivals = deque(
-            sorted(workload, key=lambda job: (job.arrival_time, job.adapter_id))
+        arrivals = sorted(
+            workload, key=lambda job: (job.arrival_time, job.adapter_id)
         )
+        if self.config.kernel == "lockstep":
+            self._run_lockstep(deque(arrivals))
+        else:
+            self._run_event(arrivals)
+        results = [replica.finish() for replica in self.replicas]
+        records: dict[int, JobRecord] = {}
+        for result in results:
+            records.update(result.records)
+        return ReplicaSetResult(
+            replicas=results,
+            records=records,
+            migrations=self._migrations,
+            reroutes=self._reroutes,
+            rebalance_drains=self._rebalance_drains,
+            drain_steps_saved=self._drain_steps_saved,
+            events_processed=dict(self._events_processed),
+        )
+
+    def _run_lockstep(self, arrivals: deque[ServeJob]) -> None:
+        """The reference fleet loop: scan, advance the laggard, route.
+
+        Every iteration rescans all replicas and recomputes all loads
+        and views from scratch -- O(replicas) per event before any
+        pricing work.  Kept verbatim as the equivalence oracle for the
+        event kernel (``config.kernel = "lockstep"``).
+        """
         while arrivals or any(r.has_work() for r in self.replicas):
             next_arrival = arrivals[0].arrival_time if arrivals else math.inf
             behind = [
@@ -219,19 +319,212 @@ class ReplicaSet:
                 record = self.replicas[index].offer(job)
                 record.replica = index
             self._rebalance()
-        results = [replica.finish() for replica in self.replicas]
-        records: dict[int, JobRecord] = {}
-        for result in results:
-            records.update(result.records)
-        return ReplicaSetResult(
-            replicas=results,
-            records=records,
-            migrations=self._migrations,
-            reroutes=self._reroutes,
-            rebalance_drains=self._rebalance_drains,
-        )
+
+    def _run_event(self, arrivals: list[ServeJob]) -> None:
+        """The discrete-event fleet loop (``config.kernel = "event"``).
+
+        Arrivals are pre-scheduled on the heap (lane = adapter id, so
+        simultaneous arrivals keep their sorted order); each working
+        replica keeps exactly one WAVE_CLOSE event at its current
+        clock, cancelled and rescheduled whenever an event mutates it.
+        The heap's ``(time, (kind, lane), seq)`` order reproduces the
+        lockstep loop's scan exactly: a wave close at the arrival
+        frontier yields to the arrival (the strict ``clock <
+        next_arrival`` rule), and equal-clock replicas advance in index
+        order.  Control events -- the rebalance check after every
+        iteration and the migrations/drains it decides -- run on the
+        kernel's immediate lane, ahead of any timed event, mirroring
+        the synchronous ``_rebalance()`` call.
+
+        Per-replica loads and routing views are cached and recomputed
+        only after a mutation, which is sound because both are pure
+        functions of one replica's state -- with a single exception: a
+        calibration observe on replica *B* repricess any tenant of
+        *B*'s closed wave that has since migrated to another replica,
+        so the loop watches the tracker's version stamp and invalidates
+        the migrant's current host too.
+        """
+        kernel = EventKernel()
+        n = len(self.replicas)
+        params = self._rebalance_params()
+        estimator = self.config.orchestrator.estimator
+        calibration = estimator.calibration if estimator is not None else None
+        seen_version = calibration.version if calibration is not None else 0
+        views: list[ReplicaView | None] = [None] * n
+        arrays = FleetArrays.for_fleet(n)
+        loads = np.empty(n, dtype=np.float64)
+        stale_views: set[int] = set(range(n))
+        stale_loads: set[int] = set(range(n))
+        wave_events: list[Event | None] = [None] * n
+
+        def invalidate(index: int) -> None:
+            stale_views.add(index)
+            stale_loads.add(index)
+
+        def resync(index: int) -> None:
+            nonlocal seen_version
+            invalidate(index)
+            if calibration is not None and calibration.version != seen_version:
+                fresh = calibration.version
+                if fresh == seen_version + 1:
+                    # One observe: its wave tenants live here unless they
+                    # migrated away -- invalidate their current hosts.
+                    for adapter_id in calibration.last_observed_tenants:
+                        host = self.router.assignments.get(adapter_id)
+                        if host is not None and host != index:
+                            invalidate(host)
+                else:
+                    # Can't attribute multiple observes; drop every cache.
+                    for other in range(n):
+                        invalidate(other)
+                seen_version = fresh
+            stale = wave_events[index]
+            if stale is not None:
+                kernel.cancel(stale)
+                wave_events[index] = None
+            replica = self.replicas[index]
+            if replica.has_work():
+                wave_events[index] = kernel.schedule(
+                    replica.clock, EventKind.WAVE_CLOSE, payload=index, lane=index
+                )
+
+        def replica_views() -> list[ReplicaView]:
+            # Refresh only the replicas an event has touched since the
+            # last call -- O(dirty), not O(fleet).
+            for index in stale_views:
+                view = self._replica_view(index)
+                views[index] = view
+                arrays.refill(index, view)
+            stale_views.clear()
+            return cast("list[ReplicaView]", views)
+
+        def replica_loads(seconds_mode: bool) -> np.ndarray:
+            for index in stale_loads:
+                loads[index] = self._replica_load(index, seconds_mode)
+            stale_loads.clear()
+            return loads
+
+        for job in arrivals:
+            kernel.schedule(
+                job.arrival_time, EventKind.ARRIVAL, payload=job, lane=job.adapter_id
+            )
+        while (event := kernel.pop()) is not None:
+            kind = event.kind
+            if kind is EventKind.WAVE_CLOSE:
+                index = event.payload
+                self.replicas[index].step()
+                resync(index)
+                if params is not None:
+                    kernel.post(EventKind.REBALANCE, _RebalancePass())
+            elif kind is EventKind.ARRIVAL:
+                job = event.payload
+                index = self.router.route(job, replica_views(), arrays)
+                record = self.replicas[index].offer(job)
+                record.replica = index
+                resync(index)
+                if params is not None:
+                    kernel.post(EventKind.REBALANCE, _RebalancePass())
+            elif kind is EventKind.REBALANCE:
+                assert params is not None  # only posted when rebalancing is on
+                threshold, seconds_mode = params
+                state = event.payload
+                action = self._plan_rebalance(
+                    replica_loads(seconds_mode),
+                    threshold,
+                    seconds_mode,
+                    state.moved,
+                    state.drained,
+                )
+                if action is None:
+                    continue
+                if action[0] == "migrate":
+                    kernel.post(EventKind.MIGRATION, action[1:] + (state,))
+                else:
+                    kernel.post(EventKind.FLUSH, action[1:] + (state,))
+            elif kind is EventKind.MIGRATION:
+                adapter_id, source, target, state = event.payload
+                state.moved.add(adapter_id)
+                self._migrate(adapter_id, source, target)
+                resync(source)
+                resync(target)
+                kernel.post(EventKind.REBALANCE, state)
+            else:  # EventKind.FLUSH
+                source, migrant, state = event.payload
+                state.drained.add(source)
+                self._apply_drain(source, migrant)
+                resync(source)
+                kernel.post(EventKind.REBALANCE, state)
+        self._events_processed = {
+            kind.name: count for kind, count in sorted(kernel.processed.items())
+        }
 
     # -- rebalancing --------------------------------------------------------
+
+    def _rebalance_params(self) -> tuple[float, bool] | None:
+        """The active ``(threshold, seconds_mode)``, or ``None`` when off."""
+        seconds_mode = self.config.migration_time_threshold is not None
+        threshold: float | None = (
+            self.config.migration_time_threshold
+            if seconds_mode
+            else self.config.migration_threshold
+        )
+        if threshold is None or len(self.replicas) < 2:
+            return None
+        return float(threshold), seconds_mode
+
+    def _replica_load(self, index: int, seconds_mode: bool) -> float:
+        """One replica's rebalance load, in the active trigger's unit.
+
+        Seconds mode compares completion *horizons* -- virtual clock
+        plus estimator-priced remaining seconds; batch mode counts
+        outstanding global batches.  Pure in the replica's own state
+        (plus, in seconds mode, the calibration factors of its own
+        tenants), which is what lets the event kernel cache it.
+        """
+        replica = self.replicas[index]
+        if seconds_mode:
+            return replica.clock + (replica.expected_remaining_seconds() or 0.0)
+        return float(replica.outstanding_batches())
+
+    def _plan_rebalance(
+        self,
+        loads: "np.ndarray | list[float]",
+        threshold: float,
+        seconds_mode: bool,
+        moved: set[int],
+        drained: set[int],
+    ) -> _RebalanceAction | None:
+        """Decide one rebalance step from the given loads.
+
+        The single decision procedure both fleet loops share, so their
+        migration behavior cannot drift apart.  Returns ``("migrate",
+        adapter_id, source, target)`` when a job should move,
+        ``("drain", source, migrant)`` when ``drain_then_migrate``
+        should pay a drain to unlock one (``migrant`` is the mid-flight
+        job a partial drain targets, ``None`` for a full flush), or
+        ``None`` when the pass is over (skew within threshold, or
+        nothing left to try).
+        """
+        # argmax/argmin return the *first* extreme index, exactly like
+        # ``max(range(n), key=loads.__getitem__)`` on ties -- one C sweep
+        # instead of a Python comparison loop over the fleet.
+        array = np.asarray(loads, dtype=np.float64)
+        source = int(np.argmax(array))
+        target = int(np.argmin(array))
+        skew = float(array[source]) - float(array[target])
+        if skew <= threshold:
+            return None
+        adapter_id = self._pick_migration(
+            source, target, skew, seconds_mode, exclude=moved
+        )
+        if adapter_id is not None:
+            return ("migrate", adapter_id, source, target)
+        if self.config.drain_then_migrate and source not in drained:
+            migrant = self._pick_drain_migrant(
+                source, target, skew, seconds_mode, exclude=moved
+            )
+            return ("drain", source, migrant)
+        return None
 
     def _rebalance(self) -> None:
         """Migrate jobs while load skew exceeds the configured threshold.
@@ -252,49 +545,35 @@ class ReplicaSet:
         near-threshold weight could ping-pong between two replicas.
         The once-per-job bound also makes termination unconditional.
         When no job can move -- typically a deep pipeline holding every
-        active job mid-wave -- ``drain_then_migrate`` pays one flush on
+        active job mid-wave -- ``drain_then_migrate`` pays one drain on
         the overloaded replica (at most once per replica per pass) to
-        unlock the migration.
+        unlock the migration; see :meth:`_apply_drain` for the
+        partial-vs-full drain choice.
         """
-        seconds_mode = self.config.migration_time_threshold is not None
-        threshold: float | None = (
-            self.config.migration_time_threshold
-            if seconds_mode
-            else self.config.migration_threshold
-        )
-        if threshold is None or len(self.replicas) < 2:
+        params = self._rebalance_params()
+        if params is None:
             return
+        threshold, seconds_mode = params
         drained: set[int] = set()
         moved: set[int] = set()
         while True:
-            if seconds_mode:
-                loads = [
-                    r.clock + (r.expected_remaining_seconds() or 0.0)
-                    for r in self.replicas
-                ]
-            else:
-                loads = [float(r.outstanding_batches()) for r in self.replicas]
-            source = max(range(len(loads)), key=loads.__getitem__)
-            target = min(range(len(loads)), key=loads.__getitem__)
-            skew = loads[source] - loads[target]
-            if skew <= threshold:
-                return
-            adapter_id = self._pick_migration(
-                source, target, skew, seconds_mode, exclude=moved
+            loads = [
+                self._replica_load(index, seconds_mode)
+                for index in range(len(self.replicas))
+            ]
+            action = self._plan_rebalance(
+                loads, threshold, seconds_mode, moved, drained
             )
-            if adapter_id is None:
-                if self.config.drain_then_migrate and source not in drained:
-                    # One flush buys step boundaries on every active job
-                    # of the overloaded replica; retry the pick with the
-                    # post-drain loads (the drain may also retire jobs,
-                    # which can settle the skew by itself).
-                    drained.add(source)
-                    self._rebalance_drains += 1
-                    self.replicas[source].flush()
-                    continue
+            if action is None:
                 return
-            moved.add(adapter_id)
-            self._migrate(adapter_id, source, target)
+            if action[0] == "migrate":
+                _, adapter_id, source, target = action
+                moved.add(adapter_id)
+                self._migrate(adapter_id, source, target)
+            else:
+                _, source, migrant = action
+                drained.add(source)
+                self._apply_drain(source, migrant)
 
     def _pick_migration(
         self,
@@ -335,6 +614,58 @@ class ReplicaSet:
         if not candidates:
             return None
         return min(candidates)[2]
+
+    def _pick_drain_migrant(
+        self,
+        source: int,
+        target: int,
+        skew: float,
+        seconds_mode: bool,
+        exclude: set[int] | frozenset[int] = frozenset(),
+    ) -> int | None:
+        """The mid-flight job worth paying a *partial* drain to move.
+
+        Scored like :meth:`_pick_migration` (same unit, same
+        ``0 < weight < skew`` cut, closest-to-even wins, lowest adapter
+        id breaks ties) but over the source's mid-flight active jobs --
+        the ones a drain exists to unlock.  ``None`` when no single job
+        qualifies: the caller then falls back to the full flush, whose
+        broader effect (every active job reaches a boundary, retirements
+        may settle the skew by themselves) is the only remaining play.
+        """
+        if self.replicas[target].slots_free == 0:
+            return None  # an active move needs a slot on the target
+        candidates = []
+        for adapter_id, batches, seconds in self.replicas[source].drainable_jobs():
+            if adapter_id in exclude:
+                continue
+            weight = seconds if seconds_mode else float(batches)
+            if weight is None or not 0 < weight < skew:
+                continue
+            candidates.append((abs(skew - 2 * weight), adapter_id))
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _apply_drain(self, source: int, migrant: int | None) -> None:
+        """Pay the drain that unlocks migration on ``source``.
+
+        With a ``migrant`` picked, the drain is partial
+        (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.drain_for`):
+        the pipeline runs only until that job's submitted batches have
+        stepped, and the optimizer steps left un-forced on the other
+        tenants -- steps a full flush would have dragged to completion
+        early -- are banked in ``drain_steps_saved``.  Without one, the
+        full flush
+        (:meth:`~repro.serve.orchestrator.OnlineOrchestrator.flush`)
+        brings every active job to a boundary (and may retire jobs,
+        settling the skew by itself).
+        """
+        self._rebalance_drains += 1
+        if migrant is None:
+            self.replicas[source].flush()
+        else:
+            self._drain_steps_saved += self.replicas[source].drain_for(migrant)
 
     def _migrate(self, adapter_id: int, source: int, target: int) -> None:
         """Move one job from replica ``source`` to replica ``target``."""

@@ -48,11 +48,14 @@ import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from repro.errors import ScheduleError
 from repro.serve.costing import CostEstimator
 from repro.serve.jobs import ServeJob
 
 __all__ = [
+    "FleetArrays",
     "ReplicaView",
     "RoutingPolicy",
     "RoundRobinRouting",
@@ -113,6 +116,53 @@ class ReplicaView:
     num_parked: int = 0
     expected_remaining_time: float | None = None
     expected_wave_time: float | None = None
+
+
+@dataclass
+class FleetArrays:
+    """Column-oriented mirror of the fleet's :class:`ReplicaView` rows.
+
+    The event kernel (:class:`~repro.serve.replicaset.ReplicaSet` with
+    ``kernel="event"``) keeps one of these fresh with the same dirty-set
+    discipline as its cached views: when an event touches replica ``i``,
+    row ``i`` is refilled from the rebuilt view; untouched rows keep
+    their floats.  Passing it to :meth:`TenantRouter.route` lets an
+    array-aware policy (:meth:`CostAwareRouting.choose_arrays`) score a
+    1000-replica fleet without re-extracting per-view attributes on
+    every arrival -- the values are the *same* float64s the scalar path
+    would read, so the decision is bit-identical.
+
+    Attributes:
+        backlogs: ``expected_remaining_time`` per replica, in index
+            order (0.0 where the view reports ``None``; see
+            ``missing``).  Unit: virtual seconds.
+        num_active: Jobs holding adapter slots, per replica.
+        indices: Replica indices, in view order.
+        missing: True where the view's ``expected_remaining_time`` is
+            ``None`` -- any True row forces the scalar fallback path.
+    """
+
+    backlogs: np.ndarray
+    num_active: np.ndarray
+    indices: np.ndarray
+    missing: np.ndarray
+
+    @classmethod
+    def for_fleet(cls, num_replicas: int) -> "FleetArrays":
+        """All-stale arrays for a fleet of ``num_replicas`` replicas."""
+        return cls(
+            backlogs=np.zeros(num_replicas, dtype=np.float64),
+            num_active=np.zeros(num_replicas, dtype=np.int64),
+            indices=np.arange(num_replicas, dtype=np.int64),
+            missing=np.ones(num_replicas, dtype=bool),
+        )
+
+    def refill(self, index: int, view: ReplicaView) -> None:
+        """Refresh row ``index`` from a freshly rebuilt view."""
+        remaining = view.expected_remaining_time
+        self.backlogs[index] = 0.0 if remaining is None else remaining
+        self.num_active[index] = view.num_active
+        self.missing[index] = remaining is None
 
 
 @runtime_checkable
@@ -294,26 +344,69 @@ class CostAwareRouting:
     estimator: CostEstimator | None = None
 
     def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
-        """Return the replica whose expected backlog grows least."""
+        """Return the replica whose expected backlog grows least.
+
+        All candidates are priced in one
+        :meth:`~repro.serve.costing.CostEstimator.placement_seconds_batch`
+        call -- the distinct-concurrency sweep makes a 1000-replica
+        decision cost a handful of estimator evaluations, and the array
+        arithmetic is bit-identical to pricing each replica alone.
+        """
         if any(r.expected_remaining_time is None for r in replicas):
             best = min(replicas, key=lambda r: (r.outstanding_batches, r.index))
             return best.index
-
-        def score(view: ReplicaView) -> tuple[float, float, int]:
-            backlog = view.expected_remaining_time or 0.0
-            marginal = (
-                self.estimator.placement_seconds(
-                    job.job, view.num_active, replica=view.index
-                )
-                if self.estimator is not None
-                else 0.0
+        count = len(replicas)
+        backlogs = np.fromiter(
+            (view.expected_remaining_time or 0.0 for view in replicas),
+            dtype=np.float64,
+            count=count,
+        )
+        if self.estimator is not None:
+            marginals = self.estimator.placement_seconds_batch(
+                job.job,
+                [view.num_active for view in replicas],
+                [view.index for view in replicas],
             )
-            # Secondary key: when the marginal term's float magnitude
-            # swamps a small backlog difference, the smaller raw backlog
-            # still wins -- a dominated replica is never chosen.
-            return (backlog + marginal, backlog, view.index)
+            totals = backlogs + marginals
+        else:
+            totals = backlogs
+        indices = np.fromiter(
+            (view.index for view in replicas), dtype=np.int64, count=count
+        )
+        # Secondary key: when the marginal term's float magnitude swamps
+        # a small backlog difference, the smaller raw backlog still wins
+        # -- a dominated replica is never chosen.  lexsort's last key is
+        # primary, so this is min() over (total, backlog, index) tuples.
+        order = np.lexsort((indices, backlogs, totals))
+        return int(indices[order[0]])
 
-        return min(replicas, key=score).index
+    def choose_arrays(
+        self,
+        job: ServeJob,
+        replicas: Sequence[ReplicaView],
+        arrays: FleetArrays,
+    ) -> int:
+        """:meth:`choose` over pre-extracted fleet columns.
+
+        ``arrays`` holds the same float64 backlogs and activity counts
+        the views carry (the event kernel refills rows with its
+        dirty-set discipline), so this path returns the same replica as
+        :meth:`choose` while skipping the per-arrival attribute
+        extraction -- the one O(fleet) Python loop left on the arrival
+        hot path.
+        """
+        if bool(arrays.missing.any()):
+            return self.choose(job, replicas)
+        backlogs = arrays.backlogs
+        if self.estimator is not None:
+            marginals = self.estimator.placement_seconds_batch(
+                job.job, arrays.num_active, arrays.indices
+            )
+            totals = backlogs + marginals
+        else:
+            totals = backlogs
+        order = np.lexsort((arrays.indices, backlogs, totals))
+        return int(arrays.indices[order[0]])
 
 
 class TenantRouter:
@@ -331,12 +424,21 @@ class TenantRouter:
         self.policy = policy
         self.assignments: dict[int, int] = {}
 
-    def route(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
+    def route(
+        self,
+        job: ServeJob,
+        replicas: Sequence[ReplicaView],
+        arrays: FleetArrays | None = None,
+    ) -> int:
         """Assign ``job`` to a replica and record the assignment.
 
         Args:
             job: The arriving job.
             replicas: One view per replica, in index order.
+            arrays: Optional column mirror of ``replicas`` (same order,
+                same values).  Policies exposing ``choose_arrays`` score
+                from it instead of re-walking the views; others ignore
+                it.
 
         Returns:
             The chosen replica index.
@@ -347,7 +449,11 @@ class TenantRouter:
         """
         if not replicas:
             raise ScheduleError("cannot route with zero replicas")
-        index = self.policy.choose(job, replicas)
+        chooser = getattr(self.policy, "choose_arrays", None)
+        if arrays is not None and chooser is not None:
+            index = chooser(job, replicas, arrays)
+        else:
+            index = self.policy.choose(job, replicas)
         if not 0 <= index < len(replicas):
             raise ScheduleError(
                 f"routing policy chose replica {index} of {len(replicas)}"

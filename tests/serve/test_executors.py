@@ -135,6 +135,76 @@ class TestStreamingSimExecutor:
         assert executor.clock == 5.0
 
 
+class TestPartialDrain:
+    """``drain_job``: force only one adapter's in-flight work, not all."""
+
+    def loaded_executor(self, num_stages=4):
+        jobs, sched = scheduled_stream(num_stages, num_jobs=4, samples=8,
+                                       gbs=4)
+        cost = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+        executor = StreamingSimExecutor(cost, num_stages)
+        for job in jobs:
+            executor.add_job(ServeJob(job=job, arrival_time=0.0))
+        events = []
+        for mb in sched.microbatches:
+            events.extend(executor.submit(mb))
+        return jobs, sched, executor, events
+
+    def test_target_adapter_fully_stepped_afterwards(self):
+        jobs, sched, executor, events = self.loaded_executor()
+        target = jobs[0].adapter_id
+        events.extend(executor.drain_job(target))
+        stepped = [e.global_batch for e in events if e.adapter_id == target]
+        assert stepped == list(range(jobs[0].num_global_batches()))
+
+    def test_later_microbatches_stay_in_flight(self):
+        # Unlike drain(), the pipeline tail past the target's last
+        # microbatch keeps its backward passes pending.
+        jobs, sched, executor, _ = self.loaded_executor()
+        # Pick the adapter whose last microbatch comes *earliest* in the
+        # stream, so some other adapter's work definitely trails it.
+        last_mb = {}
+        for k, mb in enumerate(sched.microbatches):
+            for a in mb.assignments:
+                last_mb[a.adapter_id] = k
+        target = min(last_mb, key=lambda a: (last_mb[a], a))
+        executor.drain_job(target)
+        n = executor._submitted
+        # A microbatch is still in flight until its *stage-0* backward
+        # (the last of its backwards under 1F1B) has run.
+        in_flight = [
+            k for k in range(max(0, n - executor.num_stages + 1), n)
+            if (0, k) not in executor._bwd_end
+        ]
+        assert in_flight, "partial drain flushed the whole pipeline"
+        assert all(k > last_mb[target] for k in in_flight)
+
+    def test_full_drain_after_partial_is_lossless(self):
+        jobs, sched, executor, events = self.loaded_executor()
+        events.extend(executor.drain_job(jobs[1].adapter_id))
+        events.extend(executor.drain())
+        per_job = {}
+        for event in events:
+            per_job.setdefault(event.adapter_id, []).append(event.global_batch)
+        for job in jobs:
+            assert per_job[job.adapter_id] == list(
+                range(job.num_global_batches())
+            )
+        assert executor.result().num_microbatches == len(sched.microbatches)
+
+    def test_drain_job_with_nothing_in_flight_is_a_noop(self):
+        jobs, sched, executor, _ = self.loaded_executor()
+        clock = executor.clock
+        executor.drain()
+        assert executor.drain_job(jobs[0].adapter_id) == []
+        assert executor.clock > clock  # drain moved it; drain_job did not
+
+    def test_numeric_executor_drain_job_is_empty(self):
+        engine = MultiLoRAEngine(TinyLoRATransformer(TINY))
+        executor = NumericExecutor(engine)
+        assert executor.drain_job(0) == []
+
+
 class TestNumericExecutor:
     def make_serve_job(self, aid=0, n=4, gbs=2, seed=0):
         rng = np.random.default_rng(seed)

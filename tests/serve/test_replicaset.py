@@ -277,6 +277,47 @@ class TestRebalancing:
         assert all(r.finish_time is not None for r in result.records.values())
         # The migrated job really finished on the other pipeline.
         assert any(r.replica == 1 for r in result.records.values())
+        # Drains are *partial*: forcing only through the migrant's last
+        # in-flight microbatch left other tenants' steps un-forced.
+        assert result.drain_steps_saved > 0
+
+    def test_drain_steps_saved_is_zero_without_drains(self):
+        replica_set, workload = self.deep_pipeline_set(drain=False)
+        result = replica_set.run(workload)
+        assert result.rebalance_drains == 0
+        assert result.drain_steps_saved == 0
+
+    def test_event_counters_exposed_on_event_kernel_only(self):
+        counts = {}
+        for kernel in ("event", "lockstep"):
+            config = ReplicaSetConfig(
+                orchestrator=OrchestratorConfig(
+                    scheduler=SchedulerConfig(capacity=8192,
+                                              num_stages=NUM_STAGES,
+                                              use_milp=False),
+                    window_batches=1,
+                    admission=SlotAdmission(4),
+                ),
+                kernel=kernel,
+            )
+            executors = [StreamingSimExecutor(COST, NUM_STAGES)
+                         for _ in range(2)]
+            result = ReplicaSet(executors, config).run(
+                poisson(make_jobs(4))
+            )
+            counts[kernel] = result.events_processed
+        assert counts["lockstep"] == {}
+        assert counts["event"]["ARRIVAL"] == 4
+        assert counts["event"]["WAVE_CLOSE"] > 0
+
+    def test_unknown_kernel_rejected(self):
+        config = OrchestratorConfig(
+            scheduler=SchedulerConfig(capacity=8192, num_stages=NUM_STAGES,
+                                      use_milp=False),
+            window_batches=1,
+        )
+        with pytest.raises(ScheduleError, match="kernel"):
+            ReplicaSetConfig(orchestrator=config, kernel="parallel")
 
     def test_seconds_skew_tie_picks_lowest_adapter_id(self):
         # Edge case: two migrants even the seconds gap equally well; the
