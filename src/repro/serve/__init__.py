@@ -76,7 +76,8 @@ contracts):
   * :class:`Event` -- one scheduled occurrence (time, kind, lane, seq;
     lazily cancellable).
   * :class:`EventKind` -- the event taxonomy: arrival, wave close,
-    rebalance, migration, flush.
+    rebalance, migration, flush, plus the scale events (replica join /
+    retire, reclaim deadline).
   * :class:`FleetArrays` -- column mirror of the fleet's routing views,
     kept fresh by the kernel's dirty-set caching so array-aware routing
     skips per-arrival attribute extraction.
@@ -106,6 +107,16 @@ contracts):
     :class:`CostAwareRouting` -- cycle, fewest batches, shape affinity,
     SLO headroom, least seconds-valued backlog growth.
 
+**Autoscaling** (``docs/serving.md`` section "Elastic fleets")
+  * :class:`FleetAutoscaler` -- scales the replica count against the
+    seconds-valued backlog within a $/GPU-hour budget; scale actions
+    are kernel events, spot reclamation is deadline-driven lossless
+    evacuation.
+  * :class:`CapacityPool` -- one procurable capacity tier: GPU kind,
+    hourly price, replica limit, relative speed, spot flag.
+  * :class:`ReclamationNotice` -- a scripted spot reclamation: notice
+    time, replicas taken, evacuation grace period.
+
 **Metrics** (``docs/serving.md`` section "Metrics")
   * :class:`JobRecord` -- one job's lifecycle timestamps and totals.
   * :class:`OrchestratorResult` -- one pipeline's run: latency views,
@@ -119,6 +130,11 @@ from repro.serve.admission import (
     DeadlineFeasibilityAdmission,
     MemoryAdmission,
     SlotAdmission,
+)
+from repro.serve.autoscaler import (
+    CapacityPool,
+    FleetAutoscaler,
+    ReclamationNotice,
 )
 from repro.serve.costing import (
     CALIBRATION_TOLERANCE,
@@ -171,6 +187,7 @@ __all__ = [
     "CALIBRATION_TOLERANCE",
     "CORRECTED_CALIBRATION_TOLERANCE",
     "CalibrationTracker",
+    "CapacityPool",
     "CostAwareRouting",
     "CostEstimator",
     "DeadlineFeasibilityAdmission",
@@ -181,6 +198,7 @@ __all__ = [
     "Executor",
     "FCFSOrdering",
     "FleetArrays",
+    "FleetAutoscaler",
     "JobOutcome",
     "JobRecord",
     "JobView",
@@ -195,6 +213,7 @@ __all__ = [
     "PackingAffinityRouting",
     "PriorityHeadroomRouting",
     "PriorityOrdering",
+    "ReclamationNotice",
     "ReplicaSet",
     "ReplicaSetConfig",
     "ReplicaSetResult",

@@ -166,6 +166,18 @@ class DeadlineFeasibilityAdmission:
     shedding; ``benchmarks/bench_calibration.py`` measures both sides
     under overload.  Off by default.
 
+    **Heterogeneous fleets** need no extra configuration here: the
+    remaining-seconds estimate the gate compares is priced *per
+    replica* -- the orchestrator passes its ``replica_id`` to the
+    estimator, and the
+    :class:`~repro.serve.costing.CalibrationTracker`'s per-replica
+    correction (seeded from the capacity pool's speed factor when an
+    autoscaled replica joins, refined by its observed waves) scales the
+    estimate to that hardware.  The same job can therefore be feasible
+    on an A100 replica and shed on an L40S one, which is the honest
+    answer: slow hardware sheds work it cannot finish in time instead
+    of serving it late.
+
     Attributes:
         slots: Inner slot policy (the concurrency budget).
         slack: Safety multiplier on the remaining-time estimate

@@ -221,6 +221,38 @@ class CalibrationTracker:
         self._version += 1
         self._last_tenants = tenants
 
+    def seed_replica(self, replica: int, factor: float) -> None:
+        """Install a prior per-replica factor before any wave runs.
+
+        A replica joining the fleet on *slower hardware* would otherwise
+        be priced as if it were the reference GPU until enough waves
+        close on it for :meth:`observe` to converge -- and during that
+        window :class:`~repro.serve.router.CostAwareRouting` and
+        deadline admission over-commit it.  Seeding writes the known
+        speed ratio (e.g. an L40S joining an A100 fleet seeds the
+        L40S/A100 step-time ratio) straight into the per-replica table;
+        later observations refine it exactly as if it had been learned.
+
+        Bumps :attr:`version` with an empty
+        :attr:`last_observed_tenants`, so version-watching caches
+        invalidate the seeded replica's prices without touching any
+        tenant's.
+
+        Args:
+            replica: Replica index receiving the prior.
+            factor: Expected observed/predicted ratio (> 0; > 1 means
+                slower than the reference hardware the
+                :class:`CostEstimator`'s cost model was built for).
+                Clamped to the tracker's correction band.
+        """
+        if factor <= 0:
+            raise ScheduleError("seed factor must be positive")
+        self._replica[replica] = min(
+            self.max_correction, max(1 / self.max_correction, factor)
+        )
+        self._version += 1
+        self._last_tenants = ()
+
     @property
     def version(self) -> int:
         """Observations folded so far (a cache-invalidation stamp).

@@ -72,6 +72,13 @@ class EventKind(enum.IntEnum):
     the heap: the fleet loop posts them on the immediate lane
     (:meth:`EventKernel.post`), mirroring the synchronous rebalance
     call the lockstep loop makes after every iteration.
+
+    The three scale kinds (replica join / retire / reclaim deadline)
+    are **appended after** the original five, so traces without scale
+    events keep byte-identical pop order and at equal timestamps every
+    pre-existing kind still resolves first -- an arrival landing at the
+    same instant a replica joins is routed over the fleet as it was
+    *before* the join took effect.
     """
 
     #: A job reaching the fleet: route it, offer it to a replica.
@@ -87,6 +94,15 @@ class EventKind(enum.IntEnum):
     #: Pay a pipeline drain on an overloaded replica to unlock a
     #: migration (the ``drain_then_migrate`` leg).
     FLUSH = 4
+    #: A provisioned replica comes online and becomes routable (the
+    #: autoscaler's scale-up landing after its provisioning delay).
+    REPLICA_JOIN = 5
+    #: A replica starts leaving the fleet: graceful scale-down or a
+    #: spot reclamation notice; evacuation begins here.
+    REPLICA_RETIRE = 6
+    #: A reclaimed replica's grace period expires: whatever is still
+    #: resident is force-evacuated at a step boundary (never lost).
+    RECLAIM_DEADLINE = 7
 
 
 @dataclass

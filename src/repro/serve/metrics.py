@@ -348,6 +348,28 @@ class ReplicaSetResult(_LatencyAggregates):
             (empty under the lockstep reference loop) -- the numerator
             of the events/sec throughput
             ``benchmarks/bench_fleet_kernel.py`` gates.
+        joins: Replicas the autoscaler added mid-run (scale-up landings).
+        retires: Replicas that left the fleet mid-run, gracefully or by
+            reclamation.
+        reclaims: Replicas a spot :class:`~repro.serve.autoscaler.ReclamationNotice`
+            took back (a subset of ``retires``).
+        forced_evacuations: Reclaimed replicas that still held jobs when
+            their grace deadline expired and had to be force-drained --
+            0 means every reclaim evacuated within its window.
+        reclaim_latencies: Seconds from each reclamation notice to that
+            replica's last job leaving it, one entry per reclaimed
+            replica (the evacuation-latency distribution the autoscale
+            bench reports).
+        replica_intervals: Each replica's active ``(joined, left)``
+            virtual-time interval, in replica-index order.  Populated
+            only by autoscaled runs; empty means every replica lived
+            the whole run and the aggregates below fall back to
+            makespan weighting.
+        gpu_seconds: GPU-time bought, summed over replica active
+            intervals (a replica is billed from its buy decision to its
+            retirement, idle or not).
+        dollars_spent: ``gpu_seconds`` priced at each replica's
+            $/GPU-hour pool rate.
     """
 
     replicas: list[OrchestratorResult] = field(default_factory=list)
@@ -357,10 +379,37 @@ class ReplicaSetResult(_LatencyAggregates):
     rebalance_drains: int = 0
     drain_steps_saved: int = 0
     events_processed: dict[str, int] = field(default_factory=dict)
+    joins: int = 0
+    retires: int = 0
+    reclaims: int = 0
+    forced_evacuations: int = 0
+    reclaim_latencies: list[float] = field(default_factory=list)
+    replica_intervals: list[tuple[float, float]] = field(default_factory=list)
+    gpu_seconds: float = 0.0
+    dollars_spent: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.replicas:
             raise ScheduleError("a replica-set result needs >= 1 replica")
+        if self.replica_intervals and len(self.replica_intervals) != len(
+            self.replicas
+        ):
+            raise ScheduleError(
+                "replica_intervals must be empty or name every replica"
+            )
+
+    def _interval_weights(self) -> list[float]:
+        """Each replica's aggregation weight: active span, else makespan.
+
+        The fix for elastic fleets: a replica that joined at t=200 of a
+        300-second run must weight fleet means by its 100 active
+        seconds, not by a full-run makespan it never served.  Fixed
+        fleets (no intervals recorded) keep the original
+        makespan weighting, so the legacy identities hold unchanged.
+        """
+        if self.replica_intervals:
+            return [end - start for start, end in self.replica_intervals]
+        return [r.makespan for r in self.replicas]
 
     @property
     def num_replicas(self) -> int:
@@ -417,15 +466,50 @@ class ReplicaSetResult(_LatencyAggregates):
         return self.total_tokens / self.makespan if self.makespan else 0.0
 
     def utilization(self) -> float:
-        """Busy fraction of the fleet, weighted by each replica's makespan.
+        """Busy fraction of the fleet, weighted by each replica's lifetime.
 
-        A replica that ran twice as long contributes twice the weight, so
-        this equals ``sum(util_i * makespan_i) / sum(makespan_i)`` -- the
-        fleet-wide busy share, not a naive mean over replicas.
+        The numerator is always true busy seconds
+        (``util_i * makespan_i`` -- each replica's utilization is
+        busy/clock, so the product recovers the busy time).  The
+        denominator is each replica's *active interval* when the run
+        recorded them (elastic fleets: a mid-run joiner is only on the
+        hook for the span it was actually in the fleet), else its
+        makespan -- the fixed-fleet identity
+        ``sum(util_i * makespan_i) / sum(makespan_i)`` the replica-set
+        tests assert.
         """
         weighted = sum(r.utilization * r.makespan for r in self.replicas)
-        total = sum(r.makespan for r in self.replicas)
+        total = sum(self._interval_weights())
         return weighted / total if total else 0.0
+
+    def fleet_calibration_error(self) -> float | None:
+        """Lifetime-weighted mean of per-replica wave calibration error.
+
+        Each replica's :meth:`mean_wave_calibration_error` weighted by
+        its active span (interval when recorded, makespan otherwise), so
+        a slow spot replica that served ten minutes of a ten-hour run
+        cannot dominate the fleet's honesty number -- nor vanish from
+        it.  Replicas that recorded no usable wave pair carry no weight.
+        ``None`` when no replica recorded one.
+        """
+        weighted = 0.0
+        total = 0.0
+        for result, weight in zip(self.replicas, self._interval_weights()):
+            error = result.mean_wave_calibration_error()
+            if error is None:
+                continue
+            weighted += error * weight
+            total += weight
+        return weighted / total if total else None
+
+    def mean_reclaim_latency(self) -> float | None:
+        """Mean seconds from reclamation notice to empty replica.
+
+        ``None`` when the run reclaimed nothing.
+        """
+        if not self.reclaim_latencies:
+            return None
+        return sum(self.reclaim_latencies) / len(self.reclaim_latencies)
 
     def jobs_per_time(self) -> float:
         """Finished jobs per unit of virtual time (job throughput)."""

@@ -1107,6 +1107,42 @@ class OnlineOrchestrator:
             self._wave_entries(self._window), replica=self.replica_id
         )
 
+    def deadline_pressure(self) -> int:
+        """Queued deadline jobs this replica can no longer serve in time.
+
+        Counts the due pending arrivals and parked (preempted) jobs
+        whose deadline the estimator already prices as missed from here:
+        ``clock + remaining_seconds > deadline``.  Active jobs are
+        excluded -- they hold a slot and adding capacity cannot speed
+        them up; it is the *queued* misses that another replica could
+        still save.  This is the SLO-pressure signal
+        :class:`~repro.serve.autoscaler.FleetAutoscaler` sums across the
+        fleet to force a scale-up even when the backlog alone sits below
+        its threshold.  ``0`` without an estimator.
+        """
+        if self._estimator is None:
+            return 0
+        pressure = 0
+        now = self.clock
+        for job in self._pending:
+            if job.arrival_time > now:
+                break  # _pending is arrival-sorted; the rest are not due
+            if job.deadline is None:
+                continue
+            remaining = job.job.num_global_batches()
+            seconds = self._remaining_seconds(job.job, remaining)
+            if seconds is not None and now + seconds > job.deadline:
+                pressure += 1
+        for parked in self._parked.values():
+            job = parked.serve_job
+            if job.deadline is None:
+                continue
+            remaining = job.job.num_global_batches() - parked.completed
+            seconds = self._remaining_seconds(job.job, remaining)
+            if seconds is not None and now + seconds > job.deadline:
+                pressure += 1
+        return pressure
+
     def live_mean_lengths(self) -> list[float]:
         """Mean sample length of each active job (packing-affinity input)."""
         return [state.serve_job.job.mean_length() for state in self._active.values()]

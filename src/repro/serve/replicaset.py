@@ -51,16 +51,21 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import cast
+from typing import Callable, cast
 
 import numpy as np
 
 from repro.errors import ScheduleError
+from repro.serve.autoscaler import CapacityPool, FleetAutoscaler
 from repro.serve.events import Event, EventKernel, EventKind
 from repro.serve.executors import Executor
 from repro.serve.jobs import ServeJob
 from repro.serve.metrics import JobRecord, ReplicaSetResult
-from repro.serve.orchestrator import OnlineOrchestrator, OrchestratorConfig
+from repro.serve.orchestrator import (
+    MigrationTicket,
+    OnlineOrchestrator,
+    OrchestratorConfig,
+)
 from repro.serve.router import (
     FleetArrays,
     LeastLoadedRouting,
@@ -147,6 +152,23 @@ class ReplicaSetConfig:
             discrete-event kernel, the default) or ``"lockstep"`` (the
             original reference loop).  Results are bit-identical; the
             event kernel is the fast one (see the module docstring).
+        autoscaler: Optional
+            :class:`~repro.serve.autoscaler.FleetAutoscaler` making the
+            replica count elastic: the event loop probes it after every
+            event (cooldown-gated), turns its decisions into
+            ``REPLICA_JOIN`` / ``REPLICA_RETIRE`` kernel events, and
+            runs its spot-reclamation notices with lossless evacuation
+            under each notice's deadline.  Requires ``kernel="event"``
+            (scale actions are heap events, not loop iterations), an
+            orchestrator estimator (the backlog signal is priced in
+            seconds), and an ``executor_factory``.
+        executor_factory: Builds the executor for a replica joining
+            from a given :class:`~repro.serve.autoscaler.CapacityPool`
+            (e.g. a :class:`~repro.serve.executors.StreamingSimExecutor`
+            over that pool's GPU cost model).  Required with an
+            autoscaler; for numeric serving it must produce engines
+            sharing the fleet's frozen base weights, or migration onto
+            the new replica would not be lossless.
     """
 
     orchestrator: OrchestratorConfig
@@ -155,6 +177,8 @@ class ReplicaSetConfig:
     migration_time_threshold: float | None = None
     drain_then_migrate: bool = False
     kernel: str = "event"
+    autoscaler: FleetAutoscaler | None = None
+    executor_factory: Callable[[CapacityPool], Executor] | None = None
 
     def __post_init__(self) -> None:
         if self.migration_threshold is not None and self.migration_threshold < 0:
@@ -182,6 +206,22 @@ class ReplicaSetConfig:
             raise ScheduleError(
                 f"unknown fleet kernel {self.kernel!r}; choose from {_KERNELS}"
             )
+        if self.autoscaler is not None:
+            if self.kernel != "event":
+                raise ScheduleError(
+                    "autoscaling needs kernel='event': scale actions are "
+                    "kernel events, not lockstep iterations"
+                )
+            if self.orchestrator.estimator is None:
+                raise ScheduleError(
+                    "autoscaling watches the seconds-valued backlog; "
+                    "configure an estimator on the orchestrator"
+                )
+            if self.executor_factory is None:
+                raise ScheduleError(
+                    "autoscaling needs an executor_factory to build the "
+                    "executor a joining replica runs on"
+                )
 
 
 class ReplicaSet:
@@ -210,11 +250,57 @@ class ReplicaSet:
         self._drain_steps_saved = 0
         self._events_processed: dict[str, int] = {}
         self._ran = False
+        # Elastic-fleet state.  With no autoscaler none of it changes
+        # after construction: every replica is routable for the whole
+        # run and the result carries no intervals (the legacy
+        # aggregation identities).
+        self._autoscaler = config.autoscaler
+        self._joined_at = [0.0] * len(executors)
+        self._retired_at: list[float | None] = [None] * len(executors)
+        self._hourly_rates = [0.0] * len(executors)
+        self._unroutable: set[int] = set()
+        self._routable_cache: list[int] | None = None
+        self._reclaim_started: dict[int, float] = {}
+        self._held: list[MigrationTicket] = []
+        self._joins = 0
+        self._retires = 0
+        self._reclaims = 0
+        self._forced_evacuations = 0
+        self._reclaim_latencies: list[float] = []
+        if self._autoscaler is not None:
+            names = self._autoscaler.initial_pools
+            if len(names) != len(executors):
+                raise ScheduleError(
+                    f"autoscaler names {len(names)} initial pool(s) for "
+                    f"{len(executors)} executor(s)"
+                )
+            estimator = config.orchestrator.estimator
+            calibration = estimator.calibration if estimator is not None else None
+            for index, name in enumerate(names):
+                pool = self._autoscaler.attach(index, name)
+                self._hourly_rates[index] = pool.hourly_rate
+                if calibration is not None and pool.speed_factor != 1.0:
+                    calibration.seed_replica(index, pool.speed_factor)
 
     @property
     def num_replicas(self) -> int:
-        """Pipeline replicas in the set."""
+        """Pipeline replicas in the set (including retired ones)."""
         return len(self.replicas)
+
+    def _routable(self) -> list[int]:
+        """Indices arrivals, migrations, and evacuees may land on.
+
+        Excludes draining (reclamation-marked) and retired replicas.
+        Cached -- the fixed-fleet hot path pays one list build total,
+        and scale events invalidate it.
+        """
+        if self._routable_cache is None:
+            self._routable_cache = [
+                index
+                for index in range(len(self.replicas))
+                if index not in self._unroutable
+            ]
+        return self._routable_cache
 
     def _replica_view(self, index: int) -> ReplicaView:
         """One replica's current :class:`~repro.serve.router.ReplicaView`.
@@ -284,6 +370,31 @@ class ReplicaSet:
         records: dict[int, JobRecord] = {}
         for result in results:
             records.update(result.records)
+        # Active intervals (and the GPU-time bill) only exist for
+        # autoscaled runs; a fixed fleet reports none, keeping the
+        # legacy makespan-weighted aggregation identities intact.
+        intervals: list[tuple[float, float]] = []
+        gpu_seconds = 0.0
+        dollars = 0.0
+        if self._autoscaler is not None:
+            fleet_end = float(
+                max(
+                    max(result.makespan for result in results),
+                    max(
+                        (t for t in self._retired_at if t is not None),
+                        default=0.0,
+                    ),
+                )
+            )
+            for index, result in enumerate(results):
+                start = float(self._joined_at[index])
+                retired = self._retired_at[index]
+                end = max(
+                    start, fleet_end if retired is None else float(retired)
+                )
+                intervals.append((start, end))
+                gpu_seconds += end - start
+                dollars += (end - start) / 3600.0 * self._hourly_rates[index]
         return ReplicaSetResult(
             replicas=results,
             records=records,
@@ -292,6 +403,14 @@ class ReplicaSet:
             rebalance_drains=self._rebalance_drains,
             drain_steps_saved=self._drain_steps_saved,
             events_processed=dict(self._events_processed),
+            joins=self._joins,
+            retires=self._retires,
+            reclaims=self._reclaims,
+            forced_evacuations=self._forced_evacuations,
+            reclaim_latencies=list(self._reclaim_latencies),
+            replica_intervals=intervals,
+            gpu_seconds=gpu_seconds,
+            dollars_spent=dollars,
         )
 
     def _run_lockstep(self, arrivals: deque[ServeJob]) -> None:
@@ -350,12 +469,14 @@ class ReplicaSet:
         estimator = self.config.orchestrator.estimator
         calibration = estimator.calibration if estimator is not None else None
         seen_version = calibration.version if calibration is not None else 0
+        autoscaler = self._autoscaler
         views: list[ReplicaView | None] = [None] * n
         arrays = FleetArrays.for_fleet(n)
         loads = np.empty(n, dtype=np.float64)
         stale_views: set[int] = set(range(n))
         stale_loads: set[int] = set(range(n))
         wave_events: list[Event | None] = [None] * n
+        deadline_events: dict[int, Event] = {}
 
         def invalidate(index: int) -> None:
             stale_views.add(index)
@@ -375,7 +496,7 @@ class ReplicaSet:
                             invalidate(host)
                 else:
                     # Can't attribute multiple observes; drop every cache.
-                    for other in range(n):
+                    for other in range(len(self.replicas)):
                         invalidate(other)
                 seen_version = fresh
             stale = wave_events[index]
@@ -404,6 +525,98 @@ class ReplicaSet:
             stale_loads.clear()
             return loads
 
+        # -- elastic-fleet helpers (no-ops for fixed fleets) --------------
+
+        def place(ticket: MigrationTicket) -> bool:
+            # Land an evacuated job on the least-loaded routable replica
+            # (lowest index breaks ties); payload-carrying tickets need
+            # a free adapter slot there.  False = nowhere fits yet.
+            best: tuple[tuple[int, int], int] | None = None
+            for index in self._routable():
+                replica = self.replicas[index]
+                if ticket.payload is not None and replica.slots_free == 0:
+                    continue
+                key = (replica.outstanding_batches(), index)
+                if best is None or key < best[0]:
+                    best = (key, index)
+            if best is None:
+                return False
+            target = best[1]
+            self.replicas[target].inject_job(ticket)
+            ticket.record.replica = target
+            self.router.reassign(ticket.adapter_id, target)
+            if ticket.payload is None:
+                self._reroutes += 1
+            else:
+                ticket.record.migrations += 1
+                self._migrations += 1
+            resync(target)
+            return True
+
+        def place_held() -> None:
+            # Retry jobs evacuated when no replica could take them --
+            # after every event, because any event can free a slot.
+            if not self._held:
+                return
+            self._held = [ticket for ticket in self._held if not place(ticket)]
+
+        def evacuate_movable(index: int) -> None:
+            # Eject every pending/parked/boundary job, lowest adapter id
+            # first; jobs with nowhere to go are held, never dropped.
+            replica = self.replicas[index]
+            movable = sorted(entry[0] for entry in replica.migratable_jobs())
+            for adapter_id in movable:
+                ticket = replica.eject_job(adapter_id)
+                if not place(ticket):
+                    self._held.append(ticket)
+            if movable:
+                resync(index)
+
+        def complete_retirement(index: int, time: float, reclaim: bool) -> None:
+            self._retired_at[index] = time
+            self._retires += 1
+            if reclaim:
+                started = self._reclaim_started.pop(index)
+                self._reclaim_latencies.append(float(time - started))
+                pending_deadline = deadline_events.pop(index, None)
+                if pending_deadline is not None:
+                    kernel.cancel(pending_deadline)
+            if autoscaler is not None:
+                autoscaler.on_retired(index)
+            resync(index)  # cancels the wave event; no work remains
+
+        def evacuate_all(index: int, forced: bool) -> None:
+            # Empty ``index`` completely.  The graceful path pays one
+            # *partial* drain per mid-flight job (drain_for: stop at
+            # that job's last submitted batch); the forced path -- a
+            # reclaim deadline expiring -- pays one full flush.  Either
+            # way every job leaves at a step boundary with full state.
+            replica = self.replicas[index]
+            evacuate_movable(index)
+            if forced:
+                if replica.num_active:
+                    replica.flush()
+            else:
+                for adapter_id, _, _ in sorted(replica.drainable_jobs()):
+                    replica.drain_for(adapter_id)
+            evacuate_movable(index)
+            if replica.has_work():  # jobs a partial drain left mid-flight
+                replica.flush()
+                evacuate_movable(index)
+
+        def mark_unroutable(index: int) -> None:
+            self._unroutable.add(index)
+            self._routable_cache = None
+
+        if autoscaler is not None:
+            for notice_lane, notice in enumerate(autoscaler.reclamations):
+                kernel.schedule(
+                    notice.time,
+                    EventKind.REPLICA_RETIRE,
+                    payload=("reclaim", notice),
+                    lane=notice_lane,
+                )
+
         for job in arrivals:
             kernel.schedule(
                 job.arrival_time, EventKind.ARRIVAL, payload=job, lane=job.adapter_id
@@ -414,11 +627,25 @@ class ReplicaSet:
                 index = event.payload
                 self.replicas[index].step()
                 resync(index)
+                if index in self._unroutable and self._retired_at[index] is None:
+                    # A draining (reclaimed) replica: the wave close just
+                    # brought active jobs to step boundaries -- evacuate
+                    # them, and retire early once nothing is left.
+                    evacuate_movable(index)
+                    if not self.replicas[index].has_work():
+                        complete_retirement(index, event.time, reclaim=True)
                 if params is not None:
                     kernel.post(EventKind.REBALANCE, _RebalancePass())
             elif kind is EventKind.ARRIVAL:
                 job = event.payload
-                index = self.router.route(job, replica_views(), arrays)
+                all_views = replica_views()
+                routable = self._routable()
+                if len(routable) == len(all_views):
+                    index = self.router.route(job, all_views, arrays)
+                else:
+                    index = self.router.route(
+                        job, [all_views[i] for i in routable]
+                    )
                 record = self.replicas[index].offer(job)
                 record.replica = index
                 resync(index)
@@ -428,12 +655,14 @@ class ReplicaSet:
                 assert params is not None  # only posted when rebalancing is on
                 threshold, seconds_mode = params
                 state = event.payload
+                routable = self._routable()
                 action = self._plan_rebalance(
                     replica_loads(seconds_mode),
                     threshold,
                     seconds_mode,
                     state.moved,
                     state.drained,
+                    None if len(routable) == len(self.replicas) else routable,
                 )
                 if action is None:
                     continue
@@ -448,12 +677,113 @@ class ReplicaSet:
                 resync(source)
                 resync(target)
                 kernel.post(EventKind.REBALANCE, state)
-            else:  # EventKind.FLUSH
+            elif kind is EventKind.FLUSH:
                 source, migrant, state = event.payload
                 state.drained.add(source)
                 self._apply_drain(source, migrant)
                 resync(source)
                 kernel.post(EventKind.REBALANCE, state)
+            elif kind is EventKind.REPLICA_JOIN:
+                assert autoscaler is not None  # only scheduled by the probe
+                factory = self.config.executor_factory
+                assert factory is not None  # config validation
+                pool = event.payload
+                index = len(self.replicas)
+                executor = factory(pool)
+                # The new pipeline starts at the join instant, not at
+                # virtual zero -- without this it would serve its first
+                # jobs "in the past".
+                executor.advance(event.time)
+                replica = OnlineOrchestrator(
+                    executor, self.config.orchestrator, replica_id=index
+                )
+                replica.start([])
+                self.replicas.append(replica)
+                self._joined_at.append(event.time)
+                self._retired_at.append(None)
+                self._hourly_rates.append(pool.hourly_rate)
+                views.append(None)
+                wave_events.append(None)
+                loads = np.append(loads, 0.0)
+                arrays.grow()
+                self._routable_cache = None
+                self._joins += 1
+                autoscaler.on_joined(index, pool)
+                if calibration is not None and pool.speed_factor != 1.0:
+                    calibration.seed_replica(index, pool.speed_factor)
+                resync(index)
+            elif kind is EventKind.REPLICA_RETIRE:
+                tag, data = event.payload
+                if tag == "scale":
+                    # Graceful scale-down: partial-drain each mid-flight
+                    # job, move everything off, retire now.
+                    index = data
+                    if index not in self._unroutable:
+                        mark_unroutable(index)
+                        evacuate_all(index, forced=False)
+                        complete_retirement(index, event.time, reclaim=False)
+                else:  # a spot reclamation notice
+                    assert autoscaler is not None
+                    notice = data
+                    victims = autoscaler.pick_reclaim_victims(
+                        notice.count, self._routable()
+                    )
+                    for index in victims:
+                        mark_unroutable(index)
+                        self._reclaims += 1
+                        self._reclaim_started[index] = event.time
+                        evacuate_movable(index)
+                        if not self.replicas[index].has_work():
+                            complete_retirement(index, event.time, reclaim=True)
+                        else:
+                            deadline_events[index] = kernel.schedule(
+                                event.time + notice.deadline,
+                                EventKind.RECLAIM_DEADLINE,
+                                payload=index,
+                                lane=index,
+                            )
+            else:  # EventKind.RECLAIM_DEADLINE
+                index = event.payload
+                deadline_events.pop(index, None)
+                if self._retired_at[index] is None:
+                    # Grace expired with jobs still resident: force every
+                    # active job to a step boundary and evacuate -- adds
+                    # latency, loses nothing.
+                    self._forced_evacuations += 1
+                    evacuate_all(index, forced=True)
+                    complete_retirement(index, event.time, reclaim=True)
+            if autoscaler is not None:
+                place_held()
+                if autoscaler.ready(event.time):
+                    routable = self._routable()
+                    backlog = [
+                        (
+                            i,
+                            self.replicas[i].expected_remaining_seconds() or 0.0,
+                        )
+                        for i in routable
+                    ]
+                    pressure = sum(
+                        self.replicas[i].deadline_pressure() for i in routable
+                    )
+                    decision = autoscaler.plan(event.time, backlog, pressure)
+                    if decision is not None:
+                        if decision[0] == "join":
+                            kernel.schedule(
+                                event.time + autoscaler.provision_delay,
+                                EventKind.REPLICA_JOIN,
+                                payload=decision[1],
+                            )
+                        else:
+                            kernel.post(
+                                EventKind.REPLICA_RETIRE,
+                                ("scale", decision[1]),
+                            )
+        if self._held:
+            raise ScheduleError(
+                f"{len(self._held)} evacuated job(s) never found a new "
+                "replica -- the fleet retired capacity it still needed"
+            )
         self._events_processed = {
             kind.name: count for kind, count in sorted(kernel.processed.items())
         }
@@ -468,7 +798,12 @@ class ReplicaSet:
             if seconds_mode
             else self.config.migration_threshold
         )
-        if threshold is None or len(self.replicas) < 2:
+        if threshold is None:
+            return None
+        # A single-replica fleet has nothing to rebalance -- unless an
+        # autoscaler can grow it mid-run (per-check fleet size is then
+        # _plan_rebalance's indices guard).
+        if len(self.replicas) < 2 and self._autoscaler is None:
             return None
         return float(threshold), seconds_mode
 
@@ -493,6 +828,7 @@ class ReplicaSet:
         seconds_mode: bool,
         moved: set[int],
         drained: set[int],
+        indices: list[int] | None = None,
     ) -> _RebalanceAction | None:
         """Decide one rebalance step from the given loads.
 
@@ -503,14 +839,25 @@ class ReplicaSet:
         should pay a drain to unlock one (``migrant`` is the mid-flight
         job a partial drain targets, ``None`` for a full flush), or
         ``None`` when the pass is over (skew within threshold, or
-        nothing left to try).
+        nothing left to try).  ``indices`` restricts the pass to a
+        subset of ``loads``'s rows -- the elastic fleet's routable
+        replicas, so a draining or retired replica is neither a source
+        nor a target; ``None`` (fixed fleets) considers every row with
+        no subset copy.
         """
         # argmax/argmin return the *first* extreme index, exactly like
         # ``max(range(n), key=loads.__getitem__)`` on ties -- one C sweep
         # instead of a Python comparison loop over the fleet.
         array = np.asarray(loads, dtype=np.float64)
-        source = int(np.argmax(array))
-        target = int(np.argmin(array))
+        if indices is None:
+            source = int(np.argmax(array))
+            target = int(np.argmin(array))
+        else:
+            if len(indices) < 2:
+                return None
+            sub = array[indices]
+            source = indices[int(np.argmax(sub))]
+            target = indices[int(np.argmin(sub))]
         skew = float(array[source]) - float(array[target])
         if skew <= threshold:
             return None

@@ -164,6 +164,23 @@ class FleetArrays:
         self.num_active[index] = view.num_active
         self.missing[index] = remaining is None
 
+    def grow(self) -> int:
+        """Append one all-stale row (a replica joining the fleet).
+
+        The new row is marked ``missing`` until its first
+        :meth:`refill`, so array-aware scoring falls back to the scalar
+        path rather than reading zeros for a replica it has never seen.
+
+        Returns:
+            The new row's replica index.
+        """
+        index = len(self.indices)
+        self.backlogs = np.append(self.backlogs, 0.0)
+        self.num_active = np.append(self.num_active, 0)
+        self.indices = np.append(self.indices, index)
+        self.missing = np.append(self.missing, True)
+        return index
+
 
 @runtime_checkable
 class RoutingPolicy(Protocol):
@@ -180,10 +197,16 @@ class RoundRobinRouting:
     _next: int = 0
 
     def choose(self, job: ServeJob, replicas: Sequence[ReplicaView]) -> int:
-        """Return the next replica in the cycle."""
-        index = self._next % len(replicas)
+        """Return the next replica in the cycle.
+
+        The cycle walks *positions* in the offered view list but
+        returns the view's :attr:`ReplicaView.index` -- under an
+        elastic fleet the routable views are a subset of the fleet, so
+        a position is not a replica identity.
+        """
+        view = replicas[self._next % len(replicas)]
         self._next += 1
-        return index
+        return view.index
 
 
 class LeastLoadedRouting:
@@ -445,7 +468,7 @@ class TenantRouter:
 
         Raises:
             ScheduleError: With no replicas, or when the policy returns
-                an out-of-range index.
+                an index naming none of the offered views.
         """
         if not replicas:
             raise ScheduleError("cannot route with zero replicas")
@@ -454,9 +477,16 @@ class TenantRouter:
             index = chooser(job, replicas, arrays)
         else:
             index = self.policy.choose(job, replicas)
-        if not 0 <= index < len(replicas):
+        # Validate against the views' identities, not their positions:
+        # under an elastic fleet the offered views can be a routable
+        # subset.  The positional probe keeps the contiguous full-fleet
+        # case O(1); the membership scan only runs for subsets.
+        if not (
+            0 <= index < len(replicas) and replicas[index].index == index
+        ) and not any(view.index == index for view in replicas):
             raise ScheduleError(
-                f"routing policy chose replica {index} of {len(replicas)}"
+                f"routing policy chose replica {index}, not one of the "
+                f"{len(replicas)} offered views"
             )
         self.assignments[job.adapter_id] = index
         return index

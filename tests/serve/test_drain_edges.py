@@ -1,0 +1,142 @@
+"""Edge cases of the partial-drain unlock (``drain_for``/``drain_job``):
+migrants with nothing in flight, drains landing exactly on a wave
+boundary, and the ``drain_steps_saved`` ledger under mixed
+partial-then-full drain sequences."""
+
+from repro.data import synthetic_dataset
+from repro.gpu import H100
+from repro.models.config import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import (
+    OnlineOrchestrator,
+    OrchestratorConfig,
+    ServeJob,
+    SlotAdmission,
+    StreamingSimExecutor,
+)
+
+DATASETS = ["xsum", "cnn_dailymail", "wikisum", "mixed"]
+COST = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+
+
+def make_jobs(count, samples=24, gbs=4, seed=3):
+    return [
+        AdapterJob(a, synthetic_dataset(a, DATASETS[a % 4], samples, seed=seed),
+                   gbs)
+        for a in range(count)
+    ]
+
+
+def mid_flight_orchestrator(num_stages=4, num_jobs=2):
+    """Two active jobs on a deep pipeline, one executed wave: the 1F1B
+    tail is in flight, so both jobs sit mid-flight between steps."""
+    config = OrchestratorConfig(
+        scheduler=SchedulerConfig(capacity=8192, num_stages=num_stages,
+                                  use_milp=False),
+        window_batches=1,
+        admission=SlotAdmission(num_jobs),
+    )
+    orchestrator = OnlineOrchestrator(
+        StreamingSimExecutor(COST, num_stages), config
+    )
+    orchestrator.start([])
+    for job in make_jobs(num_jobs):
+        orchestrator.offer(ServeJob(job=job, arrival_time=0.0))
+    orchestrator.step()
+    return orchestrator
+
+
+def in_flight(orchestrator):
+    """Scheduled-but-unstepped batches across all active jobs.
+
+    Probed with a partial drain for an adapter id no job owns: with no
+    in-flight window to cut, ``drain_for`` forces nothing and its
+    return value is exactly the outstanding tail.
+    """
+    return orchestrator.drain_for(-1)
+
+
+class TestDrainForNoInFlightWindow:
+    def test_drain_for_unsubmitted_adapter_is_a_noop(self):
+        orchestrator = mid_flight_orchestrator()
+        clock = orchestrator.clock
+        drainable = sorted(orchestrator.drainable_jobs())
+        # Adapter 99 never submitted a microbatch: there is no window to
+        # cut, so nothing is forced -- the clock holds, the mid-flight
+        # set is untouched, and every outstanding step is "saved".
+        saved = orchestrator.drain_for(99)
+        assert saved > 0
+        assert orchestrator.clock == clock
+        assert sorted(orchestrator.drainable_jobs()) == drainable
+        assert orchestrator.drain_for(99) == saved  # still a no-op
+
+    def test_executor_drain_job_without_presence_forces_nothing(self):
+        executor = StreamingSimExecutor(COST, num_stages=4)
+        assert executor.drain_job(0) == []
+        assert executor.clock == 0.0
+
+
+class TestDrainOnWaveBoundary:
+    def test_drain_for_at_a_boundary_saves_zero(self):
+        orchestrator = mid_flight_orchestrator()
+        # A full flush lands every active job exactly on its step
+        # boundary...
+        orchestrator.flush()
+        assert orchestrator.drainable_jobs() == []
+        boundary_ids = [aid for aid, _, _, _ in orchestrator.migratable_jobs()]
+        assert boundary_ids  # unfinished actives are now all ejectable
+        # ...so a partial drain for any of them has no window to cut:
+        # nothing is in flight to force *or* to save.
+        clock = orchestrator.clock
+        assert orchestrator.drain_for(boundary_ids[0]) == 0
+        assert orchestrator.clock == clock
+
+    def test_shallow_pipeline_is_always_on_a_boundary(self):
+        # One stage: each submit runs its own backward immediately, so
+        # between steps there is never a tail in flight and the partial
+        # drain degenerates to a no-op.
+        orchestrator = mid_flight_orchestrator(num_stages=1)
+        assert orchestrator.drainable_jobs() == []
+        assert in_flight(orchestrator) == 0
+
+    def test_deep_pipeline_holds_a_tail_between_steps(self):
+        orchestrator = mid_flight_orchestrator(num_stages=4)
+        assert in_flight(orchestrator) > 0
+        assert orchestrator.drainable_jobs() != []
+
+
+class TestPartialThenFullDrainLedger:
+    def test_partial_drain_saves_the_other_tenants_steps(self):
+        orchestrator = mid_flight_orchestrator()
+        drainable = sorted(orchestrator.drainable_jobs())
+        assert len(drainable) == 2
+        migrant = drainable[0][0]
+        before = in_flight(orchestrator)
+        saved = orchestrator.drain_for(migrant)
+        # The migrant reached its boundary; the other tenant's tail is
+        # still in flight -- exactly the steps the partial drain saved.
+        assert 0 < saved < before
+        assert saved == in_flight(orchestrator)
+        assert migrant in [a for a, _, _, _ in orchestrator.migratable_jobs()]
+
+    def test_full_drain_after_partial_saves_nothing_more(self):
+        orchestrator = mid_flight_orchestrator()
+        migrant = sorted(orchestrator.drainable_jobs())[0][0]
+        first = orchestrator.drain_for(migrant)
+        assert first > 0
+        orchestrator.flush()
+        # The flush forced the remaining tail: a second partial drain
+        # (for anyone) finds nothing in flight.
+        for aid, _, _, _ in orchestrator.migratable_jobs():
+            assert orchestrator.drain_for(aid) == 0
+
+    def test_repeated_partial_drain_is_idempotent(self):
+        orchestrator = mid_flight_orchestrator()
+        migrant = sorted(orchestrator.drainable_jobs())[0][0]
+        first = orchestrator.drain_for(migrant)
+        clock = orchestrator.clock
+        # The migrant is already at its boundary; draining for it again
+        # forces nothing new and reports the same outstanding tail.
+        assert orchestrator.drain_for(migrant) == first
+        assert orchestrator.clock == clock

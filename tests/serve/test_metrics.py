@@ -164,3 +164,81 @@ class TestCalibrationAggregates:
         )
         assert fleet.calibration_ratio() == pytest.approx(1.0)
         assert fleet.rejected == 3
+
+
+class TestIntervalWeightedAggregation:
+    """Elastic fleets weight means by each replica's *active interval*;
+    a mid-run joiner (or early retiree) must not be charged for time it
+    was never in the fleet."""
+
+    def elastic(self):
+        # Replica 0 serves the whole [0, 300] run at 50% busy; replica 1
+        # joins at t=200 (100 active seconds, busy 60 of them); replica 2
+        # retires at t=100 (busy 30 of its 100 seconds).
+        replicas = [
+            OrchestratorResult(utilization=0.5, makespan=300.0),
+            OrchestratorResult(utilization=0.2, makespan=300.0),
+            OrchestratorResult(utilization=0.3, makespan=100.0),
+        ]
+        intervals = [(0.0, 300.0), (200.0, 300.0), (0.0, 100.0)]
+        return ReplicaSetResult(replicas=replicas,
+                                replica_intervals=intervals)
+
+    def test_utilization_weights_by_active_interval(self):
+        # Busy seconds: 150 + 60 + 30 = 240, over 300 + 100 + 100
+        # bought seconds.
+        assert self.elastic().utilization() == pytest.approx(240.0 / 500.0)
+
+    def test_mid_run_join_and_retire_shift_the_mean(self):
+        # Under legacy makespan weighting the same fleet would report
+        # 240 / 700 -- the joiner billed for 300 seconds it served 100
+        # of.  Recording intervals must change the answer.
+        legacy = ReplicaSetResult(replicas=self.elastic().replicas)
+        assert legacy.utilization() == pytest.approx(240.0 / 700.0)
+        assert self.elastic().utilization() > legacy.utilization()
+
+    def test_fixed_fleet_keeps_the_makespan_identity(self):
+        replicas = [
+            OrchestratorResult(utilization=0.5, makespan=10.0),
+            OrchestratorResult(utilization=1.0, makespan=30.0),
+        ]
+        result = ReplicaSetResult(replicas=replicas)
+        assert result.replica_intervals == []
+        assert result.utilization() == pytest.approx(
+            (0.5 * 10.0 + 1.0 * 30.0) / 40.0
+        )
+
+    def test_interval_count_must_match_replicas(self):
+        with pytest.raises(ScheduleError, match="replica_intervals"):
+            ReplicaSetResult(
+                replicas=[OrchestratorResult(makespan=1.0)],
+                replica_intervals=[(0.0, 1.0), (0.0, 1.0)],
+            )
+
+    def test_fleet_calibration_error_weights_by_interval(self):
+        import math
+
+        replicas = [
+            OrchestratorResult(makespan=300.0,
+                               wave_estimates=[(2.0, 1.0)]),   # error ln 2
+            OrchestratorResult(makespan=300.0,
+                               wave_estimates=[(1.0, 1.0)]),   # error 0
+            OrchestratorResult(makespan=100.0),                # no pairs
+        ]
+        intervals = [(0.0, 300.0), (200.0, 300.0), (0.0, 100.0)]
+        fleet = ReplicaSetResult(replicas=replicas,
+                                 replica_intervals=intervals)
+        # The pairless replica carries no weight; the joiner's perfect
+        # waves weigh 100 seconds against the veteran's 300.
+        expected = (math.log(2.0) * 300.0 + 0.0 * 100.0) / 400.0
+        assert fleet.fleet_calibration_error() == pytest.approx(expected)
+
+    def test_fleet_calibration_error_none_without_pairs(self):
+        fleet = ReplicaSetResult(replicas=[OrchestratorResult(makespan=1.0)])
+        assert fleet.fleet_calibration_error() is None
+
+    def test_mean_reclaim_latency(self):
+        base = dict(replicas=[OrchestratorResult(makespan=1.0)])
+        assert ReplicaSetResult(**base).mean_reclaim_latency() is None
+        taken = ReplicaSetResult(**base, reclaim_latencies=[0.2, 0.4])
+        assert taken.mean_reclaim_latency() == pytest.approx(0.3)
