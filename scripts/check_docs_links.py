@@ -10,11 +10,16 @@ Two families of checks:
    (``http(s)://``) and mail links are skipped.
 2. **Code references.**  Scans Sphinx-style roles --
    ``:class:`...```, ``:func:``, ``:meth:``, ``:attr:``, ``:data:``,
-   ``:mod:`` -- in docs/*.md *and* in every serve-layer docstring, and
-   fails unless the referenced name actually imports and resolves
-   (import the longest module prefix, then ``getattr`` the rest;
-   dataclass fields and annotated attributes count).  Docs can no
-   longer point at renamed-away API and silently rot.
+   ``:mod:`` -- in docs/*.md *and* in every serve- and tune-layer
+   docstring, and fails unless the referenced name actually imports
+   and resolves (import the longest module prefix, then ``getattr``
+   the rest; dataclass fields and annotated attributes count).  Docs
+   can no longer point at renamed-away API and silently rot.
+3. **Orphan modules.**  Every non-private module under the documented
+   packages (``repro/serve``, ``repro/tune``) must be reachable from
+   at least one doc page -- by a ``repro/serve/foo.py`` path mention
+   or by a role whose target is defined in the module.  New modules
+   cannot land undocumented.
 
 CI runs this as the docs job; ``tests/docs/test_links.py`` runs the same
 checks under pytest so broken links fail locally too.
@@ -111,17 +116,26 @@ def broken_links(path: Path) -> list[tuple[str, str]]:
 
 # -- code-reference checking (:class:/:data:/... roles) ------------------
 
-#: Python sources whose docstring references the repository promises to
-#: keep resolvable (the serve layer is the enforced surface, like lint).
-SERVE_PACKAGE = REPO_ROOT / "src" / "repro" / "serve"
+#: Packages whose docstrings are reference-checked and whose modules
+#: must all be reachable from the docs (the enforced surface, like lint).
+DOCUMENTED_PACKAGES = ("repro.serve", "repro.tune")
 
-#: Namespace bare (undotted) references in markdown resolve against.
-DOCS_NAMESPACE = "repro.serve"
+#: Namespaces bare (undotted) references in markdown resolve against,
+#: tried in order.
+DOCS_NAMESPACES = ("repro.serve", "repro.tune")
+
+#: A module mention in prose or a diagram: ``repro/serve/costing.py``
+#: or dotted ``repro.tune.pruner``.
+_MODULE_MENTION = re.compile(r"repro[./](serve|tune)[./](\w+)")
 
 
 def reference_sources(root: Path = REPO_ROOT) -> list[Path]:
     """The python files whose docstrings are reference-checked."""
-    return sorted((root / "src" / "repro" / "serve").glob("*.py"))
+    files = []
+    for package in DOCUMENTED_PACKAGES:
+        package_dir = root / "src" / Path(*package.split("."))
+        files.extend(sorted(package_dir.glob("*.py")))
+    return files
 
 
 def role_references(text: str) -> list[tuple[str, str]]:
@@ -238,12 +252,12 @@ def broken_references(path: Path) -> list[tuple[str, str]]:
     """``(target, reason)`` pairs for unresolvable role references.
 
     Markdown files are scanned outside code fences against the
-    :data:`DOCS_NAMESPACE`; python files docstring by docstring with
+    :data:`DOCS_NAMESPACES`; python files docstring by docstring with
     class/module-relative resolution (see :func:`_docstring_scopes`).
     """
     if path.suffix == ".md":
         text = _FENCE.sub("", path.read_text())
-        scopes = [([DOCS_NAMESPACE], text)]
+        scopes = [(list(DOCS_NAMESPACES), text)]
     else:
         scopes = _docstring_scopes(path)
     problems = []
@@ -253,6 +267,71 @@ def broken_references(path: Path) -> list[tuple[str, str]]:
             if reason is not None:
                 problems.append((f":{role}:`{target}`", reason))
     return problems
+
+
+# -- orphan-module checking ----------------------------------------------
+
+
+def _defining_module(target: str, namespaces: tuple[str, ...]) -> str | None:
+    """The module a resolvable role target is defined in, if any.
+
+    Mirrors :func:`resolve_reference`'s lookup order, then asks the
+    resolved object for its ``__module__`` (classes, functions); plain
+    objects -- module-level constants, the modules themselves -- fall
+    back to the longest importable module prefix.
+    """
+    candidates = [f"{namespace}.{target}" for namespace in namespaces]
+    candidates.append(target)
+    for candidate in candidates:
+        parts = candidate.split(".")
+        for split in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:split])
+            try:
+                obj: object = importlib.import_module(module_name)
+            except ImportError:
+                continue
+            for part in parts[split:]:
+                obj = getattr(obj, part, None)
+                if obj is None:
+                    break
+            else:
+                return getattr(obj, "__module__", None) or module_name
+            break  # longest importable prefix walked; try next candidate
+    return None
+
+
+def referenced_modules(root: Path = REPO_ROOT) -> set[str]:
+    """Every documented-package module the doc pages reach.
+
+    Path-style mentions are scanned in the raw text (module paths in
+    fenced diagrams are genuine references); roles only outside fences,
+    mirroring :func:`broken_references`.
+    """
+    referenced: set[str] = set()
+    for path in doc_files(root):
+        raw = path.read_text()
+        for package, module in _MODULE_MENTION.findall(raw):
+            referenced.add(f"repro.{package}.{module}")
+        for _, target in role_references(_FENCE.sub("", raw)):
+            module_name = _defining_module(target, DOCS_NAMESPACES)
+            if module_name is not None:
+                referenced.add(module_name)
+    return referenced
+
+
+def orphan_modules(root: Path = REPO_ROOT) -> list[str]:
+    """Documented-package modules no doc page mentions at all."""
+    referenced = referenced_modules(root)
+    orphans = []
+    for package in DOCUMENTED_PACKAGES:
+        package_dir = root / "src" / Path(*package.split("."))
+        for source in sorted(package_dir.glob("*.py")):
+            if source.stem.startswith("_"):
+                continue
+            name = f"{package}.{source.stem}"
+            if name not in referenced:
+                orphans.append(name)
+    return orphans
 
 
 def main() -> int:
@@ -268,12 +347,18 @@ def main() -> int:
             print(f"{path.relative_to(REPO_ROOT)}: dangling reference "
                   f"{target} ({reason})")
             failures += 1
+    orphans = orphan_modules()
+    for name in orphans:
+        print(f"{name}: module is referenced by no doc page (orphan)")
+    failures += len(orphans)
     if failures:
-        print(f"{failures} broken link(s)/reference(s)")
+        print(f"{failures} broken link(s)/reference(s)/orphan(s)")
         return 1
     print(
         f"all intra-repo links ok across {len(doc_files())} file(s); "
-        f"all code references resolve across {len(reference_files)} file(s)"
+        f"all code references resolve across {len(reference_files)} "
+        f"file(s); no orphan modules in {len(DOCUMENTED_PACKAGES)} "
+        f"package(s)"
     )
     return 0
 

@@ -122,7 +122,19 @@ contracts):
   * :class:`OrchestratorResult` -- one pipeline's run: latency views,
     calibration views, counters.
   * :class:`ReplicaSetResult` -- the fleet aggregate (sums and weighted
-    means that match per-replica drill-down).
+    means that match per-replica drill-down), including the billing
+    view: per-replica active ``replica_intervals``, the ``gpu_seconds``
+    they sum to, and the ``dollars_spent`` they price to.
+
+**Declarative config** (``docs/tuning.md``)
+  * :class:`ServeConfig` -- the whole control plane as one frozen,
+    JSON-round-trippable bundle of policy names and scalar knobs; the
+    candidate form the autotuner (:mod:`repro.tune`) searches over.
+  * :data:`ROUTING_POLICIES` / :data:`ORDERING_POLICIES` -- the policy
+    names a bundle accepts, in documented order.
+  * :data:`GPU_HOURLY_RATE` -- the reference $/GPU-hour that prices
+    fixed-fleet runs onto the same dollars axis autoscaled runs bill
+    on.
 """
 
 from repro.serve.admission import (
@@ -135,6 +147,12 @@ from repro.serve.autoscaler import (
     CapacityPool,
     FleetAutoscaler,
     ReclamationNotice,
+)
+from repro.serve.config import (
+    GPU_HOURLY_RATE,
+    ORDERING_POLICIES,
+    ROUTING_POLICIES,
+    ServeConfig,
 )
 from repro.serve.costing import (
     CALIBRATION_TOLERANCE,
@@ -199,6 +217,7 @@ __all__ = [
     "FCFSOrdering",
     "FleetArrays",
     "FleetAutoscaler",
+    "GPU_HOURLY_RATE",
     "JobOutcome",
     "JobRecord",
     "JobView",
@@ -206,6 +225,7 @@ __all__ = [
     "MemoryAdmission",
     "MigrationTicket",
     "NumericExecutor",
+    "ORDERING_POLICIES",
     "OnlineOrchestrator",
     "OrchestratorConfig",
     "OrchestratorResult",
@@ -213,6 +233,7 @@ __all__ = [
     "PackingAffinityRouting",
     "PriorityHeadroomRouting",
     "PriorityOrdering",
+    "ROUTING_POLICIES",
     "ReclamationNotice",
     "ReplicaSet",
     "ReplicaSetConfig",
@@ -221,6 +242,7 @@ __all__ = [
     "RoundRobinRouting",
     "RoutingPolicy",
     "SRPTOrdering",
+    "ServeConfig",
     "ServeJob",
     "SlotAdmission",
     "StepEvent",

@@ -1,0 +1,99 @@
+"""Offline autotuning over the serve config space: Pareto-front capacity planning.
+
+The serve layer (:mod:`repro.serve`) exposes a cross-product of knobs
+-- router x ordering x admission gate x planning window x rebalancer x
+fleet size / autoscaler budget -- and choosing a combination per
+workload is guesswork.  This package closes that loop offline: describe
+the candidate space declaratively, prune the bulk of it analytically
+with :class:`~repro.serve.costing.CostEstimator` bounds (no
+simulation), replay a trace through the event-driven
+:class:`~repro.serve.replicaset.ReplicaSet` kernel for the survivors,
+and keep the Pareto front over (mean JCT, deadline goodput, dollars).
+The front doubles as a capacity planner: :func:`recommend` picks the
+cheapest front entry that meets an SLO target.  The full reference --
+search-space table, pruning math and admissibility arguments, artifact
+format, planning walkthrough -- is ``docs/tuning.md``.
+
+Exported API, by concern (one line each; the docstrings carry the
+contracts):
+
+**Search space** (``docs/tuning.md`` section "The search space")
+  * :class:`SearchSpace` -- per-axis value tuples whose cross-product
+    is the candidate set, enumerated deterministically as
+    :class:`~repro.serve.config.ServeConfig` bundles.
+  * :func:`default_space` -- the stock space the manual documents axis
+    by axis.
+  * :func:`single_policy_defaults` -- one-knob baseline configs the
+    tuning benchmark gates the tuned pick against.
+
+**Pruning** (``docs/tuning.md`` section "Analytic pruning")
+  * :func:`canonical` -- collapse behaviorally equivalent candidates to
+    one representative (exact identities, not approximations).
+  * :class:`TraceSummary` -- per-job admissible service floors, priced
+    once per trace.
+  * :func:`optimistic_point` -- a bound at least as good as anything
+    the simulator could report, per candidate.
+  * :data:`PRUNE_SAFETY` -- the calibration-tolerance divisor that
+    makes the floors admissible.
+
+**Tuning & recommendation** (``docs/tuning.md`` section "Running the tuner")
+  * :func:`tune` -- the collapse / bound-and-prune / simulate funnel;
+    returns the measured Pareto front.
+  * :func:`evaluate` -- replay one config on a trace, reduced to an
+    objective point.
+  * :class:`Trial` / :class:`TuneReport` -- one simulated candidate;
+    the full run accounting plus the front.
+  * :class:`SLOTarget` -- optional ceilings/floors per objective axis.
+  * :func:`recommend` / :class:`Recommendation` -- capacity planning:
+    the cheapest SLO-meeting front entry, or the least-violating one
+    flagged infeasible.
+
+**Objectives & artifacts** (``docs/tuning.md`` section "The artifact")
+  * :class:`ObjectivePoint` -- one run on the three objective axes
+    (plus GPU-seconds for readability).
+  * :func:`dominates` / :func:`pareto_front` -- Pareto dominance and
+    the non-dominated subset.
+  * :func:`front_to_json` / :func:`point_as_dict` -- the committed,
+    bit-identical JSON artifact rendering.
+"""
+
+from repro.tune.pareto import ObjectivePoint, dominates, pareto_front
+from repro.tune.pruner import (
+    PRUNE_SAFETY,
+    TraceSummary,
+    canonical,
+    optimistic_point,
+)
+from repro.tune.report import front_to_json, point_as_dict
+from repro.tune.runner import (
+    Recommendation,
+    SLOTarget,
+    Trial,
+    TuneReport,
+    evaluate,
+    recommend,
+    tune,
+)
+from repro.tune.space import SearchSpace, default_space, single_policy_defaults
+
+__all__ = [
+    "ObjectivePoint",
+    "PRUNE_SAFETY",
+    "Recommendation",
+    "SLOTarget",
+    "SearchSpace",
+    "TraceSummary",
+    "Trial",
+    "TuneReport",
+    "canonical",
+    "default_space",
+    "dominates",
+    "evaluate",
+    "front_to_json",
+    "optimistic_point",
+    "pareto_front",
+    "point_as_dict",
+    "recommend",
+    "single_policy_defaults",
+    "tune",
+]

@@ -1,0 +1,88 @@
+"""Pareto machinery over serve-run objective points.
+
+The autotuner judges every candidate configuration on three axes at
+once -- mean job completion time (minimize), deadline goodput
+(maximize), and dollars spent (minimize) -- because the axes genuinely
+trade against each other: a feasibility gate buys goodput by refusing
+work, a bigger fleet buys JCT with dollars.  No scalarization is
+baked in; the tuner's output is the **Pareto front**, the set of
+evaluated points no other evaluated point dominates, and picking one
+point off the front is the caller's policy decision
+(:func:`~repro.tune.runner.recommend` implements the capacity-planning
+pick).
+
+GPU-seconds ride along on every point as the rate-free companion of the
+dollars axis: with every replica priced at the uniform
+:data:`~repro.serve.config.GPU_HOURLY_RATE` the two are the same axis
+scaled, so dominance is checked on dollars alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ObjectivePoint", "dominates", "pareto_front"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ObjectivePoint:
+    """One serve run reduced to the tuner's three objectives.
+
+    Attributes:
+        mean_jct: Mean completion time over *finished* jobs, in virtual
+            seconds (minimize).  ``inf`` when nothing finished -- a run
+            that serves nobody must rank worst on this axis, not best,
+            which is why the tuner does not reuse the metrics layer's
+            0.0 convention here.
+        goodput: Deadline-carrying jobs finished on time (maximize);
+            0 on deadline-free traces, making the axis inert there.
+        dollars: GPU-time bought priced in dollars (minimize) -- the
+            recorded bill for autoscaled runs, else fleet size x
+            makespan at the uniform rate.
+        gpu_seconds: The same bought GPU-time in seconds, kept on the
+            point for capacity-planning readability (at a uniform
+            $/GPU-hour it is the dollars axis rescaled, so it carries
+            no extra dominance information).
+    """
+
+    mean_jct: float
+    goodput: int
+    dollars: float
+    gpu_seconds: float
+
+
+def dominates(a: ObjectivePoint, b: ObjectivePoint) -> bool:
+    """Whether ``a`` Pareto-dominates ``b``.
+
+    True when ``a`` is at least as good on every objective -- JCT and
+    dollars no higher, goodput no lower -- and strictly better on at
+    least one.  Equal points do not dominate each other, so distinct
+    configs landing on the same point both survive to the front.
+    """
+    if a.mean_jct > b.mean_jct or a.goodput < b.goodput or a.dollars > b.dollars:
+        return False
+    return a.mean_jct < b.mean_jct or a.goodput > b.goodput or a.dollars < b.dollars
+
+
+def pareto_front(items: Sequence[T], point: Callable[[T], ObjectivePoint]) -> list[T]:
+    """The non-dominated subset of ``items``, input order preserved.
+
+    Args:
+        items: Candidates carrying objective points.
+        point: Extracts each item's :class:`ObjectivePoint`.
+
+    Returns:
+        Every item whose point no other item's point :func:`dominates`.
+        Duplicated points all survive (none dominates its twin), so the
+        front is a set of *configurations*, not just of points.
+    """
+    return [
+        item
+        for item in items
+        if not any(
+            dominates(point(other), point(item)) for other in items if other is not item
+        )
+    ]

@@ -1,29 +1,38 @@
-"""Every ``repro.serve`` export must carry a real docstring.
+"""Every ``repro.serve`` / ``repro.tune`` export must carry a real docstring.
 
-The serving layer is the repository's operator-facing API surface;
-``docs/costing.md`` and ``docs/serving.md`` point readers at these
-docstrings for the contracts, so an undocumented export is a doc bug.
-Constants (plain values cannot own docstrings at runtime) must instead
-be documented with a ``#:`` comment at their definition site.
+The serving layer and its autotuner are the repository's operator-facing
+API surface; ``docs/costing.md``, ``docs/serving.md``, and
+``docs/tuning.md`` point readers at these docstrings for the contracts,
+so an undocumented export is a doc bug.  Constants (plain values cannot
+own docstrings at runtime) must instead be documented with a ``#:``
+comment at their definition site.
 """
 
+import importlib
 import inspect
 import re
 from pathlib import Path
 
+import pytest
+
 import repro.serve as serve
 
-REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGES = ["repro.serve", "repro.tune"]
 
 
-def test_every_export_resolves():
-    for name in serve.__all__:
-        assert hasattr(serve, name), f"__all__ names missing export {name}"
+@pytest.fixture(params=PACKAGES)
+def package(request):
+    return importlib.import_module(request.param)
 
 
-def test_every_class_and_function_export_has_a_docstring():
-    for name in serve.__all__:
-        obj = getattr(serve, name)
+def test_every_export_resolves(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"__all__ names missing export {name}"
+
+
+def test_every_class_and_function_export_has_a_docstring(package):
+    for name in package.__all__:
+        obj = getattr(package, name)
         if not (inspect.isclass(obj) or inspect.isfunction(obj)):
             continue  # constants are checked separately
         doc = inspect.getdoc(obj)
@@ -36,19 +45,19 @@ def test_every_class_and_function_export_has_a_docstring():
         )
 
 
-def test_constant_exports_have_doc_comments():
+def test_constant_exports_have_doc_comments(package):
     constants = [
         name
-        for name in serve.__all__
+        for name in package.__all__
         if not (
-            inspect.isclass(getattr(serve, name))
-            or inspect.isfunction(getattr(serve, name))
+            inspect.isclass(getattr(package, name))
+            or inspect.isfunction(getattr(package, name))
         )
     ]
-    assert constants, "expected at least the calibration tolerances"
+    assert constants, "expected at least one documented constant export"
     sources = {
         path: path.read_text()
-        for path in (REPO_ROOT / "src" / "repro" / "serve").glob("*.py")
+        for path in Path(package.__file__).parent.glob("*.py")
     }
     for name in constants:
         documented = any(
@@ -61,13 +70,27 @@ def test_constant_exports_have_doc_comments():
         )
 
 
-def test_module_docstring_indexes_every_export():
+def test_module_docstring_indexes_every_export(package):
     """The package docstring is the curated API index: every export
     appears in it (as a whole word -- a name nested inside another's,
     like CALIBRATION_TOLERANCE inside CORRECTED_CALIBRATION_TOLERANCE,
     does not count), so a new export cannot ship unindexed."""
-    doc = serve.__doc__
-    for name in serve.__all__:
+    doc = package.__doc__
+    for name in package.__all__:
         assert re.search(rf"(?<![\w_]){re.escape(name)}(?![\w_])", doc), (
             f"export {name} missing from the API index"
+        )
+
+
+def test_billing_fields_are_documented():
+    """The elastic-billing fields must be findable from both the class
+    docstring and the package API index -- they are the dollars axis
+    the autotuner and the autoscale bench read off every run."""
+    for name in ("gpu_seconds", "dollars_spent", "replica_intervals"):
+        pattern = rf"(?<![\w_]){name}(?![\w_])"
+        assert re.search(pattern, inspect.getdoc(serve.ReplicaSetResult)), (
+            f"ReplicaSetResult docstring does not document {name}"
+        )
+        assert re.search(pattern, serve.__doc__), (
+            f"serve package API index does not mention {name}"
         )

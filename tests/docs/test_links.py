@@ -1,6 +1,7 @@
-"""Intra-repo links in README.md/docs/*.md must resolve, and every
-Sphinx-style code reference in docs and serve-layer docstrings must name
-a real attribute (the CI docs job)."""
+"""Intra-repo links in README.md/docs/*.md must resolve, every
+Sphinx-style code reference in docs and serve-/tune-layer docstrings
+must name a real attribute, and no documented-package module may be an
+orphan no doc page mentions (the CI docs job)."""
 
 import sys
 from pathlib import Path
@@ -8,11 +9,15 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
 
 from check_docs_links import (  # noqa: E402
+    DOCS_NAMESPACES,
+    _defining_module,
     broken_links,
     broken_references,
     doc_files,
     heading_anchors,
+    orphan_modules,
     reference_sources,
+    referenced_modules,
     resolve_reference,
     role_references,
     slugify,
@@ -151,10 +156,35 @@ class TestReferenceResolution:
         assert len(problems) == 1
         assert "no_such_method" in problems[0][0]
 
-    def test_repo_docs_and_serve_docstrings_are_reference_clean(self):
+    def test_repo_docs_and_layer_docstrings_are_reference_clean(self):
         per_file = {
             str(path): broken_references(path)
             for path in doc_files() + reference_sources()
         }
         problems = {path: found for path, found in per_file.items() if found}
         assert problems == {}
+
+    def test_tune_docstrings_are_among_the_checked_sources(self):
+        stems = {path.parent.name for path in reference_sources()}
+        assert {"serve", "tune"} <= stems
+
+
+class TestOrphanModules:
+    def test_defining_module_follows_reexports(self):
+        # A bare name credits the module that defines it, not the
+        # package __init__ that re-exports it.
+        assert _defining_module("CostEstimator", DOCS_NAMESPACES) == (
+            "repro.serve.costing"
+        )
+        assert _defining_module("canonical", DOCS_NAMESPACES) == (
+            "repro.tune.pruner"
+        )
+        assert _defining_module("NoSuchThing", DOCS_NAMESPACES) is None
+
+    def test_path_mentions_count_even_inside_fences(self):
+        # architecture.md's data-flow diagram names modules inside a
+        # code fence; those are genuine references.
+        assert "repro.serve.admission" in referenced_modules()
+
+    def test_repo_docs_reference_every_module(self):
+        assert orphan_modules() == []

@@ -1,0 +1,95 @@
+"""Tests for Pareto dominance, fronts, and the JSON artifact contract."""
+
+import json
+import math
+
+import pytest
+
+from repro.tune import ObjectivePoint, dominates, pareto_front
+from repro.tune.report import point_as_dict
+
+
+def pt(jct, goodput, dollars, gpu=None):
+    return ObjectivePoint(
+        mean_jct=jct,
+        goodput=goodput,
+        dollars=dollars,
+        gpu_seconds=dollars * 600.0 if gpu is None else gpu,
+    )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(pt(1.0, 5, 2.0), pt(2.0, 4, 3.0))
+
+    def test_better_on_one_axis_equal_elsewhere(self):
+        assert dominates(pt(1.0, 5, 2.0), pt(1.0, 4, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(pt(1.0, 5, 2.0), pt(1.0, 5, 2.0))
+
+    def test_trade_off_is_incomparable(self):
+        cheap_slow = pt(9.0, 5, 1.0)
+        fast_dear = pt(1.0, 5, 9.0)
+        assert not dominates(cheap_slow, fast_dear)
+        assert not dominates(fast_dear, cheap_slow)
+
+    def test_goodput_is_maximized(self):
+        assert dominates(pt(1.0, 6, 2.0), pt(1.0, 5, 2.0))
+        assert not dominates(pt(1.0, 4, 2.0), pt(1.0, 5, 2.0))
+
+    def test_infinite_jct_is_worst(self):
+        served = pt(100.0, 0, 5.0)
+        starved = pt(math.inf, 0, 5.0)
+        assert dominates(served, starved)
+        assert not dominates(starved, served)
+
+    def test_gpu_seconds_carry_no_dominance(self):
+        a = pt(1.0, 5, 2.0, gpu=999.0)
+        b = pt(1.0, 5, 2.0, gpu=1.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestParetoFront:
+    def test_single_point_is_the_front(self):
+        assert pareto_front([pt(1.0, 1, 1.0)], lambda p: p) == [pt(1.0, 1, 1.0)]
+
+    def test_dominated_points_drop(self):
+        best = pt(1.0, 5, 1.0)
+        worse = pt(2.0, 4, 2.0)
+        assert pareto_front([worse, best], lambda p: p) == [best]
+
+    def test_incomparable_points_all_survive_in_order(self):
+        a, b = pt(9.0, 5, 1.0), pt(1.0, 5, 9.0)
+        assert pareto_front([a, b], lambda p: p) == [a, b]
+
+    def test_duplicate_points_all_survive(self):
+        twin_a = ("a", pt(1.0, 5, 2.0))
+        twin_b = ("b", pt(1.0, 5, 2.0))
+        front = pareto_front([twin_a, twin_b], lambda item: item[1])
+        assert front == [twin_a, twin_b]
+
+    def test_front_of_a_chain_is_its_minimum(self):
+        chain = [pt(float(k), 0, float(k)) for k in range(5, 0, -1)]
+        assert pareto_front(chain, lambda p: p) == [pt(1.0, 0, 1.0)]
+
+
+class TestPointAsDict:
+    def test_round_trips_through_json(self):
+        doc = json.loads(json.dumps(point_as_dict(pt(1.25, 3, 0.5))))
+        assert doc == {
+            "mean_jct": 1.25,
+            "goodput": 3,
+            "dollars": 0.5,
+            "gpu_seconds": 300.0,
+        }
+
+    def test_infinity_maps_to_none(self):
+        doc = point_as_dict(pt(math.inf, 0, 1.0))
+        assert doc["mean_jct"] is None
+
+    @pytest.mark.parametrize("noise", [1e-9, -1e-9])
+    def test_sub_precision_noise_rounds_away(self, noise):
+        assert point_as_dict(pt(1.0 + noise, 0, 1.0)) == point_as_dict(
+            pt(1.0, 0, 1.0)
+        )

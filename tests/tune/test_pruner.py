@@ -1,0 +1,121 @@
+"""Property tests for the analytic pruner: it must never cost us a front.
+
+Two claims back the tuner's funnel, each checked against brute force on
+small randomized traces:
+
+1. :func:`~repro.tune.pruner.canonical` collapses are *exact*: a config
+   and its representative replay to identical objective points.
+2. Bound-dominance pruning is *front-preserving*: ``tune(prune=True)``
+   and ``tune(prune=False)`` produce the same Pareto front as a set of
+   objective points (configs may differ -- equal points are
+   interchangeable on a front).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_dataset
+from repro.gpu import H100
+from repro.models.config import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import CostEstimator, ServeConfig, ServeJob
+from repro.tune import (
+    SearchSpace,
+    TraceSummary,
+    canonical,
+    evaluate,
+    optimistic_point,
+    tune,
+)
+
+COST = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+SCHED = SchedulerConfig(capacity=8192, num_stages=2, use_milp=False)
+DATASETS = ("xsum", "cnn_dailymail", "wikisum", "mixed")
+
+# Small but heterogeneous: two fleet sizes, two routing families, two
+# ordering families, the gate on/off -- 16 raw candidates per example.
+SPACE = SearchSpace(
+    fleet_sizes=(1, 2),
+    routings=("round_robin", "cost_aware"),
+    orderings=("fcfs", "srpt"),
+    deadline_gates=(False, True),
+)
+
+
+@st.composite
+def traces(draw):
+    """A few jobs with random sizes, spacings, and deadline tightness."""
+    seed = draw(st.integers(min_value=0, max_value=9))
+    num_jobs = draw(st.integers(min_value=2, max_value=4))
+    spacing = draw(st.sampled_from([0.0, 0.2, 1.0]))
+    jobs = []
+    for adapter in range(num_jobs):
+        samples = draw(st.sampled_from([4, 8]))
+        job = AdapterJob(
+            adapter,
+            synthetic_dataset(adapter, DATASETS[adapter % 4], samples, seed=seed),
+            global_batch_size=4,
+        )
+        tightness = draw(st.sampled_from([None, 0.2, 1.0, 5.0]))
+        deadline = None
+        if tightness is not None:
+            # Anchor tightness to the job's own priced solo time so the
+            # draw spans doomed, marginal, and comfortable deadlines.
+            pricer = CostEstimator.for_scheduler(COST, SCHED)
+            deadline = adapter * spacing + tightness * pricer.job_seconds(job)
+        jobs.append(
+            ServeJob(job, arrival_time=adapter * spacing, deadline=deadline)
+        )
+    return jobs
+
+
+def point_set(report):
+    return {
+        (t.point.mean_jct, t.point.goodput, round(t.point.dollars, 9))
+        for t in report.front
+    }
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(trace=traces())
+def test_pruned_front_matches_brute_force_front(trace):
+    pruned = tune(trace, SPACE, cost=COST, scheduler=SCHED)
+    brute = tune(trace, SPACE, cost=COST, scheduler=SCHED, prune=False)
+    assert pruned.candidates == brute.candidates
+    assert brute.pruned == 0
+    assert point_set(pruned) == point_set(brute)
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(
+    trace=traces(),
+    config=st.builds(
+        ServeConfig,
+        num_replicas=st.sampled_from([1, 2]),
+        routing=st.sampled_from(["round_robin", "cost_aware"]),
+        ordering=st.sampled_from(["fcfs", "srpt"]),
+        preemptive=st.booleans(),
+        deadline_gate=st.booleans(),
+    ),
+)
+def test_canonical_collapse_is_behaviorally_exact(trace, config):
+    has_deadlines = any(j.deadline is not None for j in trace)
+    representative = canonical(config, has_deadlines)
+    original, _ = evaluate(config, trace, cost=COST, scheduler=SCHED)
+    collapsed, _ = evaluate(representative, trace, cost=COST, scheduler=SCHED)
+    assert original == collapsed
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(trace=traces())
+def test_optimistic_point_lower_bounds_every_simulated_run(trace):
+    pricer = CostEstimator.for_scheduler(COST, SCHED)
+    summary = TraceSummary.from_trace(trace, pricer)
+    for config in SPACE.candidates():
+        bound = optimistic_point(config, summary)
+        actual, _ = evaluate(config, trace, cost=COST, scheduler=SCHED)
+        assert bound.mean_jct <= actual.mean_jct
+        assert bound.goodput >= actual.goodput
+        assert bound.dollars <= actual.dollars + 1e-12
+        assert bound.gpu_seconds <= actual.gpu_seconds + 1e-9

@@ -1,0 +1,137 @@
+"""Tests for ServeConfig bundles and search-space enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.serve import ServeConfig
+from repro.tune import SearchSpace, default_space, single_policy_defaults
+
+
+class TestServeConfig:
+    def test_round_trips_through_dict(self):
+        config = ServeConfig(
+            num_replicas=3,
+            routing="cost_aware",
+            ordering="deadline",
+            preemptive=True,
+            deadline_gate=True,
+            queueing_aware=True,
+            migration_time_threshold=2.0,
+            drain_then_migrate=True,
+            autoscale_budget=40.0,
+            calibrated=True,
+        )
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ScheduleError, match="unknown ServeConfig fields"):
+            ServeConfig.from_dict({"routing": "cost_aware", "turbo": True})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_replicas": 0},
+            {"routing": "random"},
+            {"ordering": "lifo"},
+            {"ordering": "fcfs", "aging_rate": 1.0},
+            {"aging_rate": -1.0},
+            {"slots": 0},
+            {"gate_slack": 0.0},
+            {"queueing_aware": True},  # gate off
+            {"window_batches": 0},
+            {"migration_time_threshold": 0.0},
+            {"drain_then_migrate": True},  # no trigger
+            {"autoscale_budget": 0.0},
+            {"num_replicas": 4, "autoscale_budget": 6.0},  # fleet unaffordable
+        ],
+    )
+    def test_invalid_bundles_are_rejected(self, kwargs):
+        with pytest.raises(ScheduleError):
+            ServeConfig(**kwargs)
+
+    def test_label_is_distinct_across_knobs(self):
+        configs = [
+            ServeConfig(),
+            ServeConfig(num_replicas=2),
+            ServeConfig(ordering="srpt"),
+            ServeConfig(deadline_gate=True),
+            ServeConfig(deadline_gate=True, queueing_aware=True),
+            ServeConfig(adaptive_window=True),
+            ServeConfig(migration_time_threshold=1.5, drain_then_migrate=True),
+            ServeConfig(autoscale_budget=30.0, calibrated=True),
+        ]
+        labels = [c.label() for c in configs]
+        assert len(set(labels)) == len(labels)
+
+
+class TestSearchSpace:
+    def test_default_axes_describe_one_config(self):
+        assert SearchSpace().candidates() == [ServeConfig()]
+
+    def test_product_counting_excludes_invalid_combos(self):
+        space = SearchSpace(
+            orderings=("fcfs", "srpt"),
+            aging_rates=(0.0, 0.5),
+            deadline_gates=(False, True),
+            queueing_aware=(False, True),
+        )
+        # fcfs drops the aging axis (2 of 8 ordering/aging combos gone),
+        # and the ungated half drops the queueing axis.
+        assert len(space.candidates()) == (2 * 2 - 1) * (2 * 2 - 1)
+
+    def test_drain_requires_a_trigger(self):
+        space = SearchSpace(
+            rebalance_thresholds=(None, 2.0), drains=(False, True)
+        )
+        candidates = space.candidates()
+        assert len(candidates) == 3
+        assert all(
+            c.migration_time_threshold is not None
+            for c in candidates
+            if c.drain_then_migrate
+        )
+
+    def test_enumeration_is_deterministic_odometer_order(self):
+        space = default_space()
+        first, second = space.candidates(), space.candidates()
+        assert first == second
+        fleets = [c.num_replicas for c in first]
+        # Odometer: the first axis changes slowest.
+        assert fleets == sorted(fleets)
+
+    def test_default_space_size(self):
+        assert len(default_space().candidates()) == 72
+
+    def test_axes_cover_every_config_field(self):
+        axes = default_space().axes()
+        assert len(axes) == len(ServeConfig.__dataclass_fields__)
+        for values in axes.values():
+            assert isinstance(values, tuple) and values
+
+    def test_every_candidate_is_buildable(self):
+        # Validation already ran in __post_init__; spot-check the
+        # product respects pairwise constraints too.
+        for config in itertools.islice(default_space().candidates(), 0, None, 7):
+            assert not (config.ordering == "fcfs" and config.aging_rate)
+            assert config.deadline_gate or not config.queueing_aware
+
+
+class TestSinglePolicyDefaults:
+    def test_exactly_one_knob_differs_from_baseline(self):
+        defaults = single_policy_defaults()
+        base = defaults["baseline"].to_dict()
+        for name, config in defaults.items():
+            if name == "baseline":
+                continue
+            diff = {
+                field
+                for field, value in config.to_dict().items()
+                if base[field] != value
+            }
+            assert len(diff) == 1, f"{name} changes {sorted(diff)}"
+
+    def test_defaults_share_fleet_size(self):
+        defaults = single_policy_defaults(fleet_size=3)
+        assert {c.num_replicas for c in defaults.values()} == {3}
