@@ -118,15 +118,15 @@ def broken_links(path: Path) -> list[tuple[str, str]]:
 
 #: Packages whose docstrings are reference-checked and whose modules
 #: must all be reachable from the docs (the enforced surface, like lint).
-DOCUMENTED_PACKAGES = ("repro.serve", "repro.tune")
+DOCUMENTED_PACKAGES = ("repro.serve", "repro.tune", "repro.data")
 
 #: Namespaces bare (undotted) references in markdown resolve against,
 #: tried in order.
-DOCS_NAMESPACES = ("repro.serve", "repro.tune")
+DOCS_NAMESPACES = ("repro.serve", "repro.tune", "repro.data")
 
 #: A module mention in prose or a diagram: ``repro/serve/costing.py``
 #: or dotted ``repro.tune.pruner``.
-_MODULE_MENTION = re.compile(r"repro[./](serve|tune)[./](\w+)")
+_MODULE_MENTION = re.compile(r"repro[./](serve|tune|data)[./](\w+)")
 
 
 def reference_sources(root: Path = REPO_ROOT) -> list[Path]:

@@ -13,8 +13,10 @@ from repro.data.distributions import (
     list_distributions,
 )
 from repro.data.packing import (
+    LengthHistogram,
     Pack,
     PaddedBatch,
+    greedy_knapsack,
     onthefly_microbatches,
     pad_batches,
     padding_waste,
@@ -25,6 +27,7 @@ __all__ = [
     "CNN_DAILYMAIL",
     "FinetuneDataset",
     "LengthDistribution",
+    "LengthHistogram",
     "MIXED",
     "MixtureDistribution",
     "Pack",
@@ -33,6 +36,7 @@ __all__ = [
     "WIKISUM",
     "XSUM",
     "get_distribution",
+    "greedy_knapsack",
     "list_distributions",
     "onthefly_microbatches",
     "pad_batches",

@@ -7,7 +7,11 @@ from repro.scheduler.bubble import (
     insert_noops,
 )
 from repro.scheduler.greedy import check_sample_fits_capacity, greedy_pack
-from repro.scheduler.grouping import head_tail_groups
+from repro.scheduler.grouping import (
+    StickyGrouper,
+    head_tail_groups,
+    knapsack_groups,
+)
 from repro.scheduler.merging import merge_pass
 from repro.scheduler.milp import MILPResult, milp_pack
 from repro.scheduler.scheduler import (
@@ -28,12 +32,14 @@ __all__ = [
     "PackingPlan",
     "Schedule",
     "SchedulerConfig",
+    "StickyGrouper",
     "check_sample_fits_capacity",
     "dependency_gap",
     "find_violations",
     "greedy_pack",
     "head_tail_groups",
     "insert_noops",
+    "knapsack_groups",
     "merge_pass",
     "milp_pack",
     "pack_global_batch",

@@ -47,7 +47,7 @@ contracts):
   * :class:`OnlineOrchestrator` -- the serving loop over one executor:
     admit, plan, splice, execute, retire.
   * :class:`OrchestratorConfig` -- its tunables (window, admission,
-    ordering, estimator, adaptive window).
+    ordering, estimator, adaptive window, packing scheme).
   * :class:`AdaptiveWindowConfig` -- the window control loop: shrink
     under churn, grow when stable, cap by predicted wave seconds.
   * :class:`MigrationTicket` -- a job in transit between orchestrators.
@@ -130,8 +130,9 @@ contracts):
   * :class:`ServeConfig` -- the whole control plane as one frozen,
     JSON-round-trippable bundle of policy names and scalar knobs; the
     candidate form the autotuner (:mod:`repro.tune`) searches over.
-  * :data:`ROUTING_POLICIES` / :data:`ORDERING_POLICIES` -- the policy
-    names a bundle accepts, in documented order.
+  * :data:`ROUTING_POLICIES` / :data:`ORDERING_POLICIES` /
+    :data:`PACKING_SCHEMES` -- the policy and scheme names a bundle
+    accepts, in documented order.
   * :data:`GPU_HOURLY_RATE` -- the reference $/GPU-hour that prices
     fixed-fleet runs onto the same dollars axis autoscaled runs bill
     on.
@@ -151,6 +152,7 @@ from repro.serve.autoscaler import (
 from repro.serve.config import (
     GPU_HOURLY_RATE,
     ORDERING_POLICIES,
+    PACKING_SCHEMES,
     ROUTING_POLICIES,
     ServeConfig,
 )
@@ -230,6 +232,7 @@ __all__ = [
     "OrchestratorConfig",
     "OrchestratorResult",
     "OrderingPolicy",
+    "PACKING_SCHEMES",
     "PackingAffinityRouting",
     "PriorityHeadroomRouting",
     "PriorityOrdering",

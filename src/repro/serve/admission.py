@@ -23,13 +23,16 @@ time-to-deadline and sheds the doomed ones into the distinct
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.distsim.memory import estimate_memory, fits_on_gpu
 from repro.errors import ScheduleError
 from repro.gpu.specs import GPUSpec
 from repro.models.config import ModelConfig
 from repro.serve.ordering import JobView
+
+if TYPE_CHECKING:
+    from repro.serve.costing import CostEstimator, TenantProfile
 
 __all__ = [
     "AdmissionPolicy",
@@ -67,6 +70,25 @@ class SlotAdmission:
 
     def max_concurrent(self) -> int:
         return self.slots
+
+    def interleave_key(
+        self,
+        candidate: "TenantProfile",
+        live: "Sequence[TenantProfile]",
+        estimator: "CostEstimator",
+    ) -> float:
+        """How poorly ``candidate``'s lengths interleave with the live set.
+
+        The knapsack-admission tie-breaker: the predicted post-pack
+        waste (:meth:`~repro.serve.costing.CostEstimator
+        .pack_fragmentation`) of the live profiles *with the candidate
+        added*.  Lower is better -- among candidates an
+        :class:`~repro.serve.ordering.OrderingPolicy` ranks equal, the
+        orchestrator admits the one whose length distribution fills the
+        co-resident set's bins tightest.  Deterministic (a pure function
+        of frozen profiles), so admission order stays replayable.
+        """
+        return estimator.pack_fragmentation((*live, candidate))
 
 
 @dataclass(frozen=True)
@@ -200,6 +222,23 @@ class DeadlineFeasibilityAdmission:
     def max_concurrent(self) -> int:
         """Delegate the concurrency budget to the inner policy."""
         return self.slots.max_concurrent()
+
+    def interleave_key(
+        self,
+        candidate: "TenantProfile",
+        live: "Sequence[TenantProfile]",
+        estimator: "CostEstimator",
+    ) -> float:
+        """Delegate length-interleaving scoring to the inner policy.
+
+        Inner policies without the hook (e.g. :class:`MemoryAdmission`)
+        score every candidate 0.0 -- the tie-breaker is then inert and
+        admission falls back to pure policy order.
+        """
+        key = getattr(self.slots, "interleave_key", None)
+        if key is None:
+            return 0.0
+        return key(candidate, live, estimator)
 
     def feasible(self, view: JobView, now: float, backlog: float = 0.0) -> bool:
         """Whether ``view`` can still meet its deadline.

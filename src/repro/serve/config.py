@@ -50,7 +50,13 @@ from repro.serve.router import (
     RoutingPolicy,
 )
 
-__all__ = ["GPU_HOURLY_RATE", "ROUTING_POLICIES", "ORDERING_POLICIES", "ServeConfig"]
+__all__ = [
+    "GPU_HOURLY_RATE",
+    "ROUTING_POLICIES",
+    "ORDERING_POLICIES",
+    "PACKING_SCHEMES",
+    "ServeConfig",
+]
 
 #: Reference $/GPU-hour an on-demand replica is priced at when a run is
 #: converted to dollars (the same rate the autoscale benchmark's
@@ -71,6 +77,12 @@ ROUTING_POLICIES = (
 #: Ordering-policy names :attr:`ServeConfig.ordering` accepts
 #: (``docs/serving.md`` section "SLO & fairness").
 ORDERING_POLICIES = ("fcfs", "srpt", "priority", "deadline")
+
+#: Wave-packing scheme names :attr:`ServeConfig.packing` accepts
+#: (``docs/serving.md`` section "Length-aware packing"): ``"arrival"``
+#: plans waves in admission order, ``"knapsack"`` assembles them from
+#: deterministic token-mass knapsacks with sticky head-tail groups.
+PACKING_SCHEMES = ("arrival", "knapsack")
 
 #: Autoscaler control constants used when :attr:`ServeConfig.autoscale_budget`
 #: is set: hysteresis band (seconds of backlog), provisioning latency, and
@@ -134,6 +146,13 @@ class ServeConfig:
         calibrated: Attach a fresh
             :class:`~repro.serve.costing.CalibrationTracker` so prices
             are feedback-corrected as the run unfolds.
+        packing: Wave-packing scheme name, one of
+            :data:`PACKING_SCHEMES`.  ``"knapsack"`` turns on
+            length-aware streaming packing end to end: knapsack wave
+            assembly with sticky groups in the orchestrator,
+            fragmentation-biased admission ties, and (with the
+            ``packing_affinity`` routing) estimator-priced replica
+            placement.
     """
 
     num_replicas: int = 1
@@ -151,8 +170,11 @@ class ServeConfig:
     drain_then_migrate: bool = False
     autoscale_budget: float | None = None
     calibrated: bool = False
+    packing: str = "arrival"
 
     def __post_init__(self) -> None:
+        if self.packing not in PACKING_SCHEMES:
+            raise ScheduleError(f"unknown packing scheme '{self.packing}'")
         if self.num_replicas < 1:
             raise ScheduleError("num_replicas must be at least 1")
         if self.routing not in ROUTING_POLICIES:
@@ -222,6 +244,8 @@ class ServeConfig:
             parts.append(f"auto${self.autoscale_budget:g}")
         if self.calibrated:
             parts.append("cal")
+        if self.packing == "knapsack":
+            parts.append("knap")
         return "-".join(parts)
 
     # -- construction -------------------------------------------------------
@@ -239,12 +263,20 @@ class ServeConfig:
         return DeadlineOrdering(preemptive=self.preemptive, aging_rate=self.aging_rate)
 
     def _routing(self, estimator: CostEstimator) -> RoutingPolicy:
-        """The live routing policy the bundle names."""
+        """The live routing policy the bundle names.
+
+        Under ``packing="knapsack"`` the ``packing_affinity`` policy is
+        built in its estimator-priced mode: replicas are scored by the
+        predicted post-pack waste of their live set with the tenant
+        added, not by mean-length distance.
+        """
         if self.routing == "round_robin":
             return RoundRobinRouting()
         if self.routing == "least_loaded":
             return LeastLoadedRouting()
         if self.routing == "packing_affinity":
+            if self.packing == "knapsack":
+                return PackingAffinityRouting(estimator=estimator)
             return PackingAffinityRouting()
         if self.routing == "priority_headroom":
             return PriorityHeadroomRouting()
@@ -299,6 +331,7 @@ class ServeConfig:
             ordering=self._ordering(),
             estimator=estimator,
             adaptive_window=AdaptiveWindowConfig() if self.adaptive_window else None,
+            packing=self.packing,
         )
         factory: Callable[[CapacityPool], Executor] | None = None
         autoscaler = self._autoscaler()

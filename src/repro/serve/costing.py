@@ -640,10 +640,33 @@ class CostEstimator:
         )
         return raw * corrections
 
+    def pack_fragmentation(self, profiles: Sequence[TenantProfile]) -> float:
+        """Predicted post-pack waste of co-residing these tenants.
+
+        The fraction of bin capacity the co-resident set's per-step
+        padded token masses would leave unfilled: each profile
+        contributes one global batch's padded tokens, the set needs
+        ``ceil(sum / capacity)`` bins, and the returned value is
+        ``1 - sum / (bins * capacity)``.  Zero for an empty set and for
+        sets whose masses land exactly on a capacity multiple.  A pure
+        function of the profiles and the packing parameters -- no
+        calibration, no replica identity -- so admission interleaving
+        and routing affinity can share it and stay deterministic.
+        """
+        tokens = 0.0
+        for profile in profiles:
+            raw = profile.batch_samples * profile.mean_length
+            tokens += math.ceil(raw / self.padding_multiple) * self.padding_multiple
+        if tokens <= 0:
+            return 0.0
+        bins = max(1, math.ceil(tokens / self.capacity))
+        return 1.0 - tokens / (bins * self.capacity)
+
     def wave_seconds(
         self,
         entries: list[tuple[TenantProfile, int]],
         replica: int | None = None,
+        merge_discount: float = 0.0,
     ) -> float:
         """Expected seconds one planning wave takes to execute.
 
@@ -655,6 +678,14 @@ class CostEstimator:
                 multiplied by that replica's correction factor (wave
                 entries carry no tenant identity, so the replica factor
                 is the most specific signal available).
+            merge_discount: Fraction of the steady-state bound the merge
+                pass is expected to recover, in ``[0, 1)``.  Only
+                meaningful when grouping is *sticky* (the same layout
+                replays wave after wave), which is what makes the
+                observed merge fraction a predictor of the next wave's;
+                the serialization bound is never discounted -- merging
+                shares microbatches, it cannot shorten one tenant's
+                batch chain.
 
         Returns:
             The larger of two lower bounds: the steady-state bound (sum
@@ -664,7 +695,13 @@ class CostEstimator:
             batches of one adapter cannot overlap, so a tenant whose
             batches fill fewer microbatches than the pipeline has
             stages pays full round trips, not bottleneck periods).
+            With ``merge_discount`` the steady-state bound is scaled by
+            ``1 - merge_discount`` before the max.
         """
+        if not 0.0 <= merge_discount < 1.0:
+            raise ScheduleError(
+                f"merge_discount must be in [0, 1), got {merge_discount}"
+            )
         total = 0.0
         total_mbs = 0
         longest_chain = 0.0
@@ -683,6 +720,7 @@ class CostEstimator:
             longest_chain = max(longest_chain, chain)
         if total_mbs:
             total += (self.num_stages - 1) * (total / total_mbs)
+        total *= 1.0 - merge_discount
         return max(total, longest_chain) * self._correction(replica=replica)
 
     def schedule_seconds(self, microbatches: list[Microbatch]) -> float:

@@ -268,6 +268,12 @@ class OrchestratorResult(_LatencyAggregates):
         records: Per-job lifecycle records, keyed by adapter id.
         makespan: Virtual time from 0 to the last completed work.
         total_tokens: Real tokens trained across all jobs.
+        total_padded_tokens: Tokens actually computed across the stream
+            (per-adapter padding to the tile granule included) -- the
+            denominator of :meth:`padding_waste`.
+        capacity: Microbatch token capacity the stream was packed
+            against (0 when no wave ran) -- the per-slot budget
+            :meth:`pack_efficiency` normalizes by.
         total_microbatches: Microbatch slots submitted (incl. no-ops).
         noop_microbatches: No-op slots (scheduler spacing + splice
             junctions).
@@ -296,6 +302,8 @@ class OrchestratorResult(_LatencyAggregates):
     records: dict[int, JobRecord] = field(default_factory=dict)
     makespan: float = 0.0
     total_tokens: int = 0
+    total_padded_tokens: int = 0
+    capacity: int = 0
     total_microbatches: int = 0
     noop_microbatches: int = 0
     replans: int = 0
@@ -311,6 +319,42 @@ class OrchestratorResult(_LatencyAggregates):
     def tokens_per_time(self) -> float:
         """Trained real tokens per unit of virtual time."""
         return self.total_tokens / self.makespan if self.makespan else 0.0
+
+    def padding_waste(self) -> float:
+        """Fraction of computed tokens that were padding.
+
+        ``1 - total_tokens / total_padded_tokens`` -- the serving-layer
+        counterpart of :func:`repro.data.packing.padding_waste`, over
+        the run's whole spliced stream.  0.0 when nothing was computed.
+        """
+        if not self.total_padded_tokens:
+            return 0.0
+        return 1.0 - self.total_tokens / self.total_padded_tokens
+
+    def bubble_rate(self) -> float:
+        """Fraction of submitted microbatch slots that were no-ops.
+
+        No-ops are the pipeline bubbles the bubble lemma and splice
+        junctions insert; fewer means tighter waves.  0.0 when no slot
+        was submitted.
+        """
+        if not self.total_microbatches:
+            return 0.0
+        return self.noop_microbatches / self.total_microbatches
+
+    def pack_efficiency(self) -> float:
+        """Real tokens per unit of non-noop slot capacity.
+
+        ``total_tokens / (capacity * real slots)`` -- how full the bin
+        packer kept the microbatches it emitted (1.0 = every real slot
+        packed to capacity with zero padding).  Complements
+        :meth:`padding_waste` (which charges only padding) by also
+        charging capacity left unfilled.  0.0 when no real slot ran.
+        """
+        real_slots = self.total_microbatches - self.noop_microbatches
+        if not self.capacity or real_slots <= 0:
+            return 0.0
+        return self.total_tokens / (self.capacity * real_slots)
 
     def _wave_pairs(self) -> list[tuple[float, float]]:
         return self.wave_estimates
@@ -427,6 +471,11 @@ class ReplicaSetResult(_LatencyAggregates):
         return sum(r.total_tokens for r in self.replicas)
 
     @property
+    def total_padded_tokens(self) -> int:
+        """Computed tokens (padding included), summed over replicas."""
+        return sum(r.total_padded_tokens for r in self.replicas)
+
+    @property
     def total_microbatches(self) -> int:
         """Microbatch slots submitted across replicas (incl. no-ops)."""
         return sum(r.total_microbatches for r in self.replicas)
@@ -435,6 +484,50 @@ class ReplicaSetResult(_LatencyAggregates):
     def noop_microbatches(self) -> int:
         """No-op slots across replicas."""
         return sum(r.noop_microbatches for r in self.replicas)
+
+    def padding_waste(self) -> float:
+        """Fleet padding-waste fraction, weighted by stream volume.
+
+        ``1 - sum(tokens) / sum(padded tokens)`` over all replicas --
+        identical to recomputing
+        :meth:`OrchestratorResult.padding_waste` on the merged stream,
+        so each replica's contribution is weighted by the padded tokens
+        it computed (``tests/serve/test_metrics.py`` asserts the
+        identity).  0.0 when the fleet computed nothing.
+        """
+        padded = self.total_padded_tokens
+        if not padded:
+            return 0.0
+        return 1.0 - self.total_tokens / padded
+
+    def bubble_rate(self) -> float:
+        """Fleet no-op fraction, weighted by submitted slots.
+
+        ``sum(noops) / sum(slots)`` -- the merged-stream identity again:
+        equal to each replica's :meth:`OrchestratorResult.bubble_rate`
+        weighted by its slot count.  0.0 when no slot was submitted.
+        """
+        total = self.total_microbatches
+        if not total:
+            return 0.0
+        return self.noop_microbatches / total
+
+    def pack_efficiency(self) -> float:
+        """Fleet pack efficiency, weighted by non-noop slot capacity.
+
+        ``sum(tokens) / sum(capacity_i * real slots_i)`` -- replicas may
+        in principle run different capacities, so each one's budget is
+        priced per replica; with a uniform capacity this reduces to the
+        merged-stream :meth:`OrchestratorResult.pack_efficiency`.  0.0
+        when no real slot ran anywhere.
+        """
+        budget = sum(
+            r.capacity * (r.total_microbatches - r.noop_microbatches)
+            for r in self.replicas
+        )
+        if budget <= 0:
+            return 0.0
+        return self.total_tokens / budget
 
     @property
     def violations(self) -> int:

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from repro.data.dataset import FinetuneDataset, Sample
 from repro.errors import ScheduleError
 from repro.scheduler.bubble import find_violations
+from repro.scheduler.grouping import StickyGrouper
 from repro.scheduler.scheduler import MultiLoRAScheduler, SchedulerConfig
 from repro.scheduler.types import AdapterJob, Microbatch, Schedule
 from repro.serve.admission import AdmissionPolicy
@@ -73,6 +74,20 @@ __all__ = [
     "MigrationTicket",
     "OnlineOrchestrator",
 ]
+
+#: Wave-assembly schemes the orchestrator accepts: ``"arrival"``
+#: recomputes head-tail groups per wave from arrival order (the
+#: original behavior); ``"knapsack"`` assembles waves from sticky
+#: token-mass knapsack groups
+#: (:func:`~repro.scheduler.grouping.knapsack_groups` layouts pinned by
+#: :class:`~repro.scheduler.grouping.StickyGrouper`).
+_PACKING_MODES = ("arrival", "knapsack")
+
+#: Cap on the merge discount folded into wave pricing: the merge pass
+#: can at most halve a pair of microbatches, and pricing more than half
+#: the steady-state bound away would let one lucky wave undercut the
+#: serialization floor's protection.
+_MAX_MERGE_DISCOUNT = 0.5
 
 #: Window scheduler stats accumulated across waves into the result stats.
 _ACCUMULATED_STATS = ("merges", "noops_inserted", "milp_selected", "packing_tasks")
@@ -156,6 +171,13 @@ class OrchestratorConfig:
         adaptive_window: Enable the window control loop (see
             :class:`AdaptiveWindowConfig`); ``None`` keeps the static
             ``window_batches``.
+        packing: Wave-assembly scheme: ``"arrival"`` (default) rebuilds
+            head-tail groups per wave from arrival order; ``"knapsack"``
+            assembles waves from sticky token-mass knapsack groups, adds
+            a length-interleaving tie-breaker to admission (when the
+            admission policy exposes ``interleave_key`` and an estimator
+            is set), and folds the observed merge fraction into wave
+            pricing as a ``merge_discount``.
     """
 
     scheduler: SchedulerConfig
@@ -165,10 +187,16 @@ class OrchestratorConfig:
     mid_wave_admission: bool = False
     estimator: CostEstimator | None = None
     adaptive_window: AdaptiveWindowConfig | None = None
+    packing: str = "arrival"
 
     def __post_init__(self) -> None:
         if self.window_batches is not None and self.window_batches <= 0:
             raise ScheduleError("window_batches must be positive (or None)")
+        if self.packing not in _PACKING_MODES:
+            raise ScheduleError(
+                f"unknown packing mode {self.packing!r}; "
+                f"expected one of {_PACKING_MODES}"
+            )
         if self.ordering is not None:
             validate_policy(self.ordering)
         if self.adaptive_window is not None and self.window_batches is None:
@@ -292,6 +320,22 @@ class OnlineOrchestrator:
         self._preemptions = 0
         self._wave_cuts = 0
         self._stats: dict[str, float] = {key: 0.0 for key in _ACCUMULATED_STATS}
+        # Knapsack-mode state: the sticky grouper pins group layouts per
+        # live-set membership, and the merge/planned microbatch counters
+        # feed the merge discount folded into wave pricing.
+        self._grouper = (
+            StickyGrouper() if config.packing == "knapsack" else None
+        )
+        self._merged_mbs = 0.0
+        self._planned_mbs = 0.0
+        # Admission interleave hook, resolved once like the gate: only
+        # knapsack mode with an estimator consults it, and only when the
+        # admission policy exposes it.
+        self._interleave = (
+            getattr(config.admission, "interleave_key", None)
+            if self._grouper is not None and config.estimator is not None
+            else None
+        )
         self._slot_budget = (
             config.admission.max_concurrent()
             if config.admission is not None
@@ -376,19 +420,48 @@ class OnlineOrchestrator:
         .policy_keys` call -- vectorized for the shipped policies,
         per-job for custom ones -- with keys identical to the scalar
         path.
+
+        In knapsack mode, when the admission policy exposes
+        ``interleave_key`` (and an estimator is set), candidates the
+        policy ranks *equal* are further ordered by how tightly their
+        length profile packs with the live set's -- the policy's own
+        ranking is never overridden, only its ties are broken by
+        predicted post-pack waste before the adapter-id fallback.
         """
         now = self.executor.clock
-        views = []
+        views: list[JobView] = []
+        jobs: list[AdapterJob] = []
         for job in self._pending:
             if job.arrival_time > now:
                 break  # _pending is arrival-sorted
             views.append(self._pending_view(job))
+            jobs.append(job.job)
         for parked in self._parked.values():
             views.append(self._parked_view(parked))
+            jobs.append(parked.serve_job.job)
         keys = policy_keys(self._policy, views, now)
-        return sorted(
-            (key, view.adapter_id) for key, view in zip(keys, views)
+        if self._interleave is None:
+            return sorted(
+                (key, view.adapter_id) for key, view in zip(keys, views)
+            )
+        # Live profiles in adapter-id order: pack_fragmentation sums
+        # floats, and a deterministic summand order keeps the bias (and
+        # therefore admission order) replay-identical across kernels.
+        live = tuple(
+            TenantProfile.from_job(self._active[aid].serve_job.job)
+            for aid in sorted(self._active)
         )
+        ranked = sorted(
+            (
+                key,
+                self._interleave(
+                    TenantProfile.from_job(job), live, self._estimator
+                ),
+                view.adapter_id,
+            )
+            for key, view, job in zip(keys, views, jobs)
+        )
+        return [(key, aid) for key, _bias, aid in ranked]
 
     def _preemption_victim(self, key: tuple[float, ...]) -> int | None:
         """The active job a candidate ranked ``key`` may evict.
@@ -579,10 +652,7 @@ class OnlineOrchestrator:
         if adaptive.target_wave_seconds is not None and self._estimator is not None:
             while (
                 window > adaptive.min_batches
-                and self._estimator.wave_seconds(
-                    self._wave_entries(window), replica=self.replica_id
-                )
-                > adaptive.target_wave_seconds
+                and self._wave_price(window) > adaptive.target_wave_seconds
             ):
                 window -= 1
         self._window = window
@@ -598,6 +668,32 @@ class OnlineOrchestrator:
             batches = remaining if window is None else min(window, remaining)
             entries.append((TenantProfile.from_job(state.serve_job.job), batches))
         return entries
+
+    def _merge_discount(self) -> float:
+        """The merge fraction folded into wave pricing (knapsack mode).
+
+        The observed fraction of planned microbatches the merge pass has
+        eliminated so far, capped at ``_MAX_MERGE_DISCOUNT``.  Only
+        meaningful when groups are sticky -- a stable layout makes past
+        merge luck predictive of the next wave's -- so it is 0.0 in
+        arrival mode.  Also 0.0 with fewer than two live jobs: merging
+        needs a head-tail pair, and keeping single-tenant waves
+        undiscounted preserves the exact pricing identity the
+        autotuner's single-tenant packing collapse relies on.
+        """
+        if self._grouper is None or len(self._active) < 2:
+            return 0.0
+        if self._planned_mbs <= 0:
+            return 0.0
+        return min(_MAX_MERGE_DISCOUNT, self._merged_mbs / self._planned_mbs)
+
+    def _wave_price(self, window: int | None) -> float:
+        """The estimator's price for the next wave (discount folded in)."""
+        return self._estimator.wave_seconds(
+            self._wave_entries(window),
+            replica=self.replica_id,
+            merge_discount=self._merge_discount(),
+        )
 
     def _close_wave_estimate(self) -> None:
         """Finalize the in-flight wave's predicted/observed pair.
@@ -649,13 +745,19 @@ class OnlineOrchestrator:
         return job
 
     def _plan_wave(self) -> list[Microbatch]:
-        """Schedule the live jobs' next windows and splice the result."""
+        """Schedule the live jobs' next windows and splice the result.
+
+        In knapsack mode the wave is assembled from the sticky grouper's
+        pinned layout -- :meth:`~repro.scheduler.scheduler
+        .MultiLoRAScheduler.plan_step` packs the given groups instead of
+        recomputing head-tail groups from the wave's arrival order --
+        and the wave's merge/planned microbatch counts feed the merge
+        discount future waves are priced with.
+        """
         self._close_wave_estimate()
         window_size = self._next_window()
         predicted = (
-            self._estimator.wave_seconds(
-                self._wave_entries(window_size), replica=self.replica_id
-            )
+            self._wave_price(window_size)
             if self._estimator is not None
             else None
         )
@@ -665,9 +767,24 @@ class OnlineOrchestrator:
             if not state.fully_scheduled
         ]
         scheduler = MultiLoRAScheduler(wave_jobs, self.config.scheduler)
-        window = scheduler.assemble(scheduler.plan_step())
+        if self._grouper is not None:
+            groups = self._grouper.groups_for(
+                wave_jobs,
+                capacity=self.config.scheduler.capacity,
+                padding_multiple=self.config.scheduler.padding_multiple,
+            )
+            window = scheduler.assemble(scheduler.plan_step(groups=groups))
+        else:
+            window = scheduler.assemble(scheduler.plan_step())
         for key in _ACCUMULATED_STATS:
             self._stats[key] += window.stats.get(key, 0.0)
+        # Merge fraction inputs: merges eliminated that many microbatches
+        # from the pre-merge stream, so the pre-merge total is the
+        # emitted count plus the merges.
+        self._merged_mbs += window.stats.get("merges", 0.0)
+        self._planned_mbs += len(window.microbatches) + window.stats.get(
+            "merges", 0.0
+        )
         spliced = self._splicer.splice(window.microbatches, plan_id=self._replans)
         for mb in spliced:
             mb.replica = self.replica_id
@@ -1103,9 +1220,7 @@ class OnlineOrchestrator:
         """
         if self._estimator is None:
             return None
-        return self._estimator.wave_seconds(
-            self._wave_entries(self._window), replica=self.replica_id
-        )
+        return self._wave_price(self._window)
 
     def deadline_pressure(self) -> int:
         """Queued deadline jobs this replica can no longer serve in time.
@@ -1146,6 +1261,18 @@ class OnlineOrchestrator:
     def live_mean_lengths(self) -> list[float]:
         """Mean sample length of each active job (packing-affinity input)."""
         return [state.serve_job.job.mean_length() for state in self._active.values()]
+
+    def live_profiles(self) -> list[TenantProfile]:
+        """Length profile of each active job (waste-affinity routing input).
+
+        Adapter-id order, so downstream float sums over the profiles
+        (:meth:`~repro.serve.costing.CostEstimator.pack_fragmentation`)
+        are order-deterministic across kernels.
+        """
+        return [
+            TenantProfile.from_job(self._active[aid].serve_job.job)
+            for aid in sorted(self._active)
+        ]
 
     def live_priorities(self) -> list[int]:
         """Priority class of each active job (headroom-routing input)."""
@@ -1272,6 +1399,8 @@ class OnlineOrchestrator:
             records=self._records,
             makespan=self.executor.clock,
             total_tokens=sum(mb.real_tokens for mb in self.stream),
+            total_padded_tokens=sum(mb.padded_tokens for mb in self.stream),
+            capacity=self.config.scheduler.capacity,
             total_microbatches=len(self.stream),
             noop_microbatches=sum(1 for mb in self.stream if mb.is_noop),
             replans=self._replans,

@@ -321,6 +321,7 @@ class ReplicaSet:
             slots_free=replica.slots_free,
             live_mean_lengths=tuple(replica.live_mean_lengths()),
             live_priorities=tuple(replica.live_priorities()),
+            live_profiles=tuple(replica.live_profiles()),
             expected_remaining_time=replica.expected_remaining_seconds(),
             expected_wave_time=replica.expected_wave_seconds(),
         )

@@ -51,7 +51,7 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.errors import ScheduleError
-from repro.serve.costing import CostEstimator
+from repro.serve.costing import CostEstimator, TenantProfile
 from repro.serve.jobs import ServeJob
 
 __all__ = [
@@ -103,6 +103,12 @@ class ReplicaView:
         expected_wave_time: Expected seconds the replica's *next*
             planning wave will take (window-clipped).  Unit: virtual
             seconds.  ``None`` without an estimator.
+        live_profiles: Full :class:`~repro.serve.costing.TenantProfile`
+            per active job (same order as ``live_mean_lengths``).
+            Estimator-mode :class:`PackingAffinityRouting` scores
+            candidate replicas by the predicted post-pack waste of the
+            live set plus the arrival; empty when the replica's
+            orchestrator predates the field or has no live jobs.
     """
 
     index: int
@@ -116,6 +122,7 @@ class ReplicaView:
     num_parked: int = 0
     expected_remaining_time: float | None = None
     expected_wave_time: float | None = None
+    live_profiles: tuple = ()
 
 
 @dataclass
@@ -239,13 +246,27 @@ class PackingAffinityRouting:
     (:attr:`ReplicaView.outstanding_batches` counts, not seconds);
     length similarity is in **tokens** (mean sample length).
 
+    With an ``estimator`` attached the similarity heuristic is replaced
+    by a direct waste prediction: each eligible replica is scored by
+    :meth:`~repro.serve.costing.CostEstimator.pack_fragmentation` over
+    its live tenant profiles (:attr:`ReplicaView.live_profiles`) *plus*
+    the arrival -- the fraction of bin capacity the post-placement
+    co-resident set would leave unfilled -- and the lowest predicted
+    waste wins.  Mean-length distance can prefer a twin tenant whose
+    combined mass straddles a capacity boundary; the fragmentation score
+    sees the boundary.
+
     Attributes:
         load_slack: How many extra outstanding global batches (a count,
             not a duration) a better-fitting replica may carry before
             load wins.
+        estimator: Prices predicted post-pack waste per candidate
+            replica; ``None`` keeps the legacy mean-length-distance
+            rule.
     """
 
     load_slack: int = 4
+    estimator: CostEstimator | None = None
 
     def __post_init__(self) -> None:
         if self.load_slack < 0:
@@ -258,6 +279,19 @@ class PackingAffinityRouting:
             r for r in replicas
             if r.outstanding_batches <= floor + self.load_slack
         ]
+        if self.estimator is not None:
+            profile = TenantProfile.from_job(job.job)
+            best = min(
+                eligible,
+                key=lambda r: (
+                    self.estimator.pack_fragmentation(
+                        (*r.live_profiles, profile)
+                    ),
+                    r.outstanding_batches,
+                    r.index,
+                ),
+            )
+            return best.index
         length = job.job.mean_length()
 
         def distance(view: ReplicaView) -> float:

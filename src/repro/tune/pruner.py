@@ -62,7 +62,9 @@ __all__ = ["PRUNE_SAFETY", "TraceSummary", "canonical", "optimistic_point"]
 PRUNE_SAFETY = CALIBRATION_TOLERANCE
 
 
-def canonical(config: ServeConfig, has_deadlines: bool) -> ServeConfig:
+def canonical(
+    config: ServeConfig, has_deadlines: bool, multi_tenant: bool = True
+) -> ServeConfig:
     """The representative of ``config``'s behavioral equivalence class.
 
     Rewrites knobs that are provably inert for the given trace shape to
@@ -75,6 +77,8 @@ def canonical(config: ServeConfig, has_deadlines: bool) -> ServeConfig:
         config: The candidate to canonicalize.
         has_deadlines: Whether any trace job carries a deadline -- the
             feasibility gate is only collapsible when none does.
+        multi_tenant: Whether the trace holds more than one job -- the
+            packing axis is only collapsible on singleton traces.
     """
     updates: dict[str, object] = {}
     if config.num_replicas == 1:
@@ -93,6 +97,14 @@ def canonical(config: ServeConfig, has_deadlines: bool) -> ServeConfig:
         # FCFS ranks by arrival time: a later arrival is never strictly
         # better-ranked than an admitted job, so preemption never fires.
         updates["preemptive"] = False
+    if not multi_tenant and config.packing != "arrival":
+        # One tenant: knapsack grouping over a single job is the
+        # singleton group arrival order produces, the admission
+        # tie-breaker never sees two candidates, routing scores never
+        # tie-break differently for one tenant, and the merge discount
+        # is gated on two or more live jobs -- so knapsack packing
+        # prices and plans identically to arrival order.
+        updates["packing"] = "arrival"
     return replace(config, **updates) if updates else config
 
 

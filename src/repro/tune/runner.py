@@ -186,7 +186,9 @@ def tune(
     representatives: list[ServeConfig] = []
     seen: set[ServeConfig] = set()
     for candidate in raw:
-        representative = canonical(candidate, summary.has_deadlines)
+        representative = canonical(
+            candidate, summary.has_deadlines, multi_tenant=len(trace) > 1
+        )
         if representative not in seen:
             seen.add(representative)
             representatives.append(representative)

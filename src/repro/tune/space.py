@@ -61,6 +61,8 @@ class SearchSpace:
         autoscale_budgets: $/hour autoscaler budgets (``None`` keeps
             the fleet fixed).
         calibrated: Closed-loop calibration correction on/off.
+        packings: Wave-packing scheme names
+            (:data:`~repro.serve.config.PACKING_SCHEMES`).
     """
 
     fleet_sizes: tuple[int, ...] = (1,)
@@ -78,6 +80,7 @@ class SearchSpace:
     drains: tuple[bool, ...] = (False,)
     autoscale_budgets: tuple[float | None, ...] = (None,)
     calibrated: tuple[bool, ...] = (False,)
+    packings: tuple[str, ...] = ("arrival",)
 
     def candidates(self) -> list[ServeConfig]:
         """Every valid config in the space's cross-product, in axis order.
@@ -106,6 +109,7 @@ class SearchSpace:
             drain,
             budget,
             calibrate,
+            packing,
         ) in itertools.product(
             self.fleet_sizes,
             self.routings,
@@ -122,6 +126,7 @@ class SearchSpace:
             self.drains,
             self.autoscale_budgets,
             self.calibrated,
+            self.packings,
         ):
             if ordering == "fcfs" and aging:
                 continue
@@ -146,6 +151,7 @@ class SearchSpace:
                     drain_then_migrate=drain,
                     autoscale_budget=budget,
                     calibrated=calibrate,
+                    packing=packing,
                 )
             )
         return configs

@@ -1,10 +1,12 @@
-"""Tests for the three batching schemes of Figure 2."""
+"""Tests for the batching schemes of Figure 2 plus knapsack packing."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import (
+    LengthHistogram,
+    greedy_knapsack,
     onthefly_microbatches,
     pad_batches,
     padding_waste,
@@ -71,6 +73,87 @@ class TestOnTheFly:
         assert sum(sum(m) for m in mbs) == sum(LENGTHS)
 
 
+class TestLengthHistogram:
+    def test_buckets_are_left_open(self):
+        hist = LengthHistogram.from_lengths([1, 100, 101, 200, 201], 100)
+        # (0, 100], (100, 200], (200, 300]
+        assert hist.counts == (2, 2, 1)
+        assert hist.num_samples == 5
+
+    def test_empty_lengths_give_empty_counts(self):
+        hist = LengthHistogram.from_lengths([], 64)
+        assert hist.counts == ()
+        assert hist.num_samples == 0
+
+    def test_merged_pads_shorter_counts(self):
+        a = LengthHistogram.from_lengths([50, 150], 100)
+        b = LengthHistogram.from_lengths([250], 100)
+        merged = a.merged(b)
+        assert merged.counts == (1, 1, 1)
+
+    def test_merged_width_mismatch_rejected(self):
+        a = LengthHistogram.from_lengths([50], 100)
+        b = LengthHistogram.from_lengths([50], 64)
+        with pytest.raises(ReproError):
+            a.merged(b)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ReproError):
+            LengthHistogram.from_lengths([0], 100)
+
+    def test_bad_bucket_width_rejected(self):
+        with pytest.raises(ReproError):
+            LengthHistogram(bucket_width=0, counts=(1,))
+
+
+class TestGreedyKnapsack:
+    def test_first_fit_decreasing(self):
+        packs = greedy_knapsack(LENGTHS, capacity=512)
+        # Longest first: 500 opens knapsack 0; 400 cannot join it.
+        assert packs[0][0] == 7
+        assert all(
+            sum(LENGTHS[i] for i in pack) <= 512 for pack in packs
+        )
+
+    def test_every_index_exactly_once(self):
+        packs = greedy_knapsack(LENGTHS, capacity=600)
+        assert sorted(i for pack in packs for i in pack) == list(
+            range(len(LENGTHS))
+        )
+
+    def test_deterministic(self):
+        assert greedy_knapsack(LENGTHS, 512) == greedy_knapsack(LENGTHS, 512)
+
+    def test_equal_lengths_break_ties_by_index(self):
+        packs = greedy_knapsack([100, 100, 100], capacity=200)
+        assert packs == [[0, 1], [2]]
+
+    def test_bucketing_coarsens_the_sort(self):
+        # With width 1000 every length shares a bucket, so the
+        # secondary exact-length sort still orders them longest-first.
+        packs = greedy_knapsack([100, 300], capacity=1000, bucket_width=1000)
+        assert packs == [[1, 0]]
+
+    def test_empty_lengths_give_no_knapsacks(self):
+        assert greedy_knapsack([], capacity=512) == []
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_knapsack([600], capacity=500)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_knapsack([0], capacity=500)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_knapsack([100], capacity=0)
+
+    def test_bad_bucket_width_rejected(self):
+        with pytest.raises(ReproError):
+            greedy_knapsack([100], capacity=500, bucket_width=0)
+
+
 class TestProperties:
     @given(
         lengths=st.lists(st.integers(1, 1000), min_size=1, max_size=50),
@@ -100,3 +183,40 @@ class TestProperties:
         batches = pad_batches(lengths, mbs)
         assert all(b.wasted_tokens >= 0 for b in batches)
         assert 0.0 <= padding_waste(batches) < 1.0
+
+    @given(
+        lengths=st.lists(st.integers(1, 500), min_size=0, max_size=50),
+        capacity=st.integers(500, 2000),
+        bucket_width=st.sampled_from([1, 64, 128]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_knapsack_is_a_partition_within_capacity(
+        self, lengths, capacity, bucket_width
+    ):
+        packs = greedy_knapsack(lengths, capacity, bucket_width=bucket_width)
+        assert sorted(i for p in packs for i in p) == list(range(len(lengths)))
+        assert all(sum(lengths[i] for i in p) <= capacity for p in packs)
+        # Determinism: a second call reproduces the packing exactly.
+        assert packs == greedy_knapsack(
+            lengths, capacity, bucket_width=bucket_width
+        )
+
+    @given(lengths=st.lists(st.integers(1, 500), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_knapsack_never_beats_the_token_lower_bound(self, lengths):
+        # FFD can never use fewer bins than ceil(total / capacity).
+        capacity = 500
+        packs = greedy_knapsack(lengths, capacity)
+        assert len(packs) >= -(-sum(lengths) // capacity)
+
+    @given(
+        lengths=st.lists(st.integers(1, 500), min_size=0, max_size=60),
+        width=st.sampled_from([32, 100, 250]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_counts_every_sample_once(self, lengths, width):
+        hist = LengthHistogram.from_lengths(lengths, width)
+        assert hist.num_samples == len(lengths)
+        for length in lengths:
+            bucket = (length - 1) // width
+            assert hist.counts[bucket] >= 1

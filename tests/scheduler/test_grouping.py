@@ -1,10 +1,15 @@
-"""Tests for head-tail adapter grouping."""
+"""Tests for head-tail, knapsack, and sticky adapter grouping."""
 
 import pytest
 
 from repro.data.dataset import FinetuneDataset, Sample
 from repro.errors import ScheduleError
-from repro.scheduler import AdapterJob, head_tail_groups
+from repro.scheduler import (
+    AdapterJob,
+    StickyGrouper,
+    head_tail_groups,
+    knapsack_groups,
+)
 
 
 def job(aid, mean_length, count=8):
@@ -55,3 +60,102 @@ class TestHeadTailGroups:
     def test_bad_group_size_rejected(self):
         with pytest.raises(ScheduleError):
             head_tail_groups([job(0, 100)], 0)
+
+    def test_oversized_group_size_clamps_to_live_set(self):
+        # A fleet-default group_size outliving a shrunken live set must
+        # yield one group holding every job -- not quietly degenerate or
+        # raise mid-run.
+        jobs = [job(0, 400), job(1, 900)]
+        groups = head_tail_groups(jobs, group_size=5)
+        assert [[j.adapter_id for j in g] for g in groups] == [[0, 1]]
+
+
+class TestKnapsackGroups:
+    def test_groups_fill_capacity_tightly(self):
+        # Masses (gbs 4, P 64): 4096, 4096, 8192, 2048 against 8192.
+        jobs = [job(0, 1024), job(1, 1024), job(2, 2048), job(3, 512)]
+        groups = knapsack_groups(jobs, capacity=8192)
+        assert [[j.adapter_id for j in g] for g in groups] == [
+            [2],
+            [0, 1],
+            [3],
+        ]
+
+    def test_every_job_appears_exactly_once(self):
+        jobs = [job(i, 100 + 211 * i) for i in range(7)]
+        groups = knapsack_groups(jobs, capacity=8192)
+        ids = sorted(j.adapter_id for g in groups for j in g)
+        assert ids == list(range(7))
+
+    def test_members_sorted_short_first(self):
+        jobs = [job(0, 900), job(1, 400)]
+        groups = knapsack_groups(jobs, capacity=8192)
+        assert [j.adapter_id for j in groups[0]] == [1, 0]
+
+    def test_deterministic_under_input_order(self):
+        jobs = [job(i, 100 + 211 * i) for i in range(6)]
+        forward = knapsack_groups(jobs, capacity=8192)
+        backward = knapsack_groups(list(reversed(jobs)), capacity=8192)
+        layout = [[j.adapter_id for j in g] for g in forward]
+        assert layout == [[j.adapter_id for j in g] for g in backward]
+
+    def test_heavy_job_clamps_to_capacity(self):
+        # A job whose padded mass exceeds capacity still packs (alone).
+        jobs = [job(0, 5000), job(1, 100)]
+        groups = knapsack_groups(jobs, capacity=8192)
+        ids = sorted(j.adapter_id for g in groups for j in g)
+        assert ids == [0, 1]
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ScheduleError):
+            knapsack_groups([], capacity=8192)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ScheduleError):
+            knapsack_groups([job(0, 100), job(0, 200)], capacity=8192)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ScheduleError):
+            knapsack_groups([job(0, 100)], capacity=0)
+
+
+class TestStickyGrouper:
+    def layout(self, groups):
+        return [[j.adapter_id for j in g] for g in groups]
+
+    def test_same_membership_replays_the_cached_layout(self):
+        grouper = StickyGrouper()
+        first = grouper.groups_for(
+            [job(0, 1024), job(1, 1024), job(2, 2048)], capacity=8192
+        )
+        # Next wave: same ids, different windowed lengths and order --
+        # the id layout must not move.
+        second = grouper.groups_for(
+            [job(2, 100), job(0, 3000), job(1, 200)], capacity=8192
+        )
+        assert self.layout(second) == self.layout(first)
+
+    def test_fresh_objects_are_mapped_onto_the_layout(self):
+        grouper = StickyGrouper()
+        grouper.groups_for([job(0, 1024), job(1, 512)], capacity=8192)
+        fresh = [job(0, 700), job(1, 900)]
+        replay = grouper.groups_for(fresh, capacity=8192)
+        replayed = {j.adapter_id: j for g in replay for j in g}
+        assert replayed[0] is fresh[0]
+        assert replayed[1] is fresh[1]
+
+    def test_membership_change_recomputes(self):
+        grouper = StickyGrouper()
+        grouper.groups_for([job(0, 1024), job(1, 1024)], capacity=8192)
+        grown = grouper.groups_for(
+            [job(0, 1024), job(1, 1024), job(2, 2048)], capacity=8192
+        )
+        assert sorted(j.adapter_id for g in grown for j in g) == [0, 1, 2]
+        # And the original membership still replays its own layout.
+        shrunk = grouper.groups_for([job(0, 99), job(1, 1)], capacity=8192)
+        assert sorted(j.adapter_id for g in shrunk for j in g) == [0, 1]
+
+    def test_duplicate_ids_rejected(self):
+        grouper = StickyGrouper()
+        with pytest.raises(ScheduleError):
+            grouper.groups_for([job(0, 100), job(0, 200)], capacity=8192)

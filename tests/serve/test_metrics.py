@@ -139,6 +139,92 @@ class TestRejectionAggregates:
         assert result.deadline_goodput() == 1
 
 
+class TestPackingCounters:
+    def result(self):
+        return OrchestratorResult(
+            total_tokens=600,
+            total_padded_tokens=800,
+            capacity=100,
+            total_microbatches=10,
+            noop_microbatches=2,
+        )
+
+    def test_padding_waste(self):
+        assert self.result().padding_waste() == pytest.approx(1 - 600 / 800)
+        assert OrchestratorResult().padding_waste() == 0.0
+
+    def test_bubble_rate(self):
+        assert self.result().bubble_rate() == pytest.approx(0.2)
+        assert OrchestratorResult().bubble_rate() == 0.0
+
+    def test_pack_efficiency(self):
+        # 600 real tokens over 8 real slots of 100-token capacity.
+        assert self.result().pack_efficiency() == pytest.approx(0.75)
+        assert OrchestratorResult().pack_efficiency() == 0.0
+        all_noops = OrchestratorResult(
+            capacity=100, total_microbatches=3, noop_microbatches=3
+        )
+        assert all_noops.pack_efficiency() == 0.0
+
+    def fleet(self):
+        replicas = [
+            OrchestratorResult(
+                total_tokens=600, total_padded_tokens=800, capacity=100,
+                total_microbatches=10, noop_microbatches=2, makespan=1.0,
+            ),
+            OrchestratorResult(
+                total_tokens=300, total_padded_tokens=1200, capacity=100,
+                total_microbatches=20, noop_microbatches=5, makespan=1.0,
+            ),
+        ]
+        return ReplicaSetResult(replicas=replicas)
+
+    def test_fleet_padding_waste_is_the_merged_stream_identity(self):
+        fleet = self.fleet()
+        # Identical to recomputing on the concatenated streams: sums of
+        # tokens and padded tokens, not a mean of per-replica ratios.
+        assert fleet.padding_waste() == pytest.approx(1 - 900 / 2000)
+        merged = OrchestratorResult(
+            total_tokens=fleet.total_tokens,
+            total_padded_tokens=fleet.total_padded_tokens,
+        )
+        assert fleet.padding_waste() == pytest.approx(merged.padding_waste())
+
+    def test_fleet_bubble_rate_is_the_merged_stream_identity(self):
+        fleet = self.fleet()
+        assert fleet.bubble_rate() == pytest.approx(7 / 30)
+        merged = OrchestratorResult(
+            total_microbatches=fleet.total_microbatches,
+            noop_microbatches=fleet.noop_microbatches,
+        )
+        assert fleet.bubble_rate() == pytest.approx(merged.bubble_rate())
+
+    def test_fleet_pack_efficiency_prices_capacity_per_replica(self):
+        fleet = self.fleet()
+        # 900 tokens over 100 * 8 + 100 * 15 slot-capacity.
+        assert fleet.pack_efficiency() == pytest.approx(900 / 2300)
+        # Heterogeneous capacities change the budget, not the tokens.
+        uneven = ReplicaSetResult(
+            replicas=[
+                OrchestratorResult(
+                    total_tokens=600, capacity=200,
+                    total_microbatches=10, noop_microbatches=2, makespan=1.0,
+                ),
+                OrchestratorResult(
+                    total_tokens=300, capacity=100,
+                    total_microbatches=20, noop_microbatches=5, makespan=1.0,
+                ),
+            ]
+        )
+        assert uneven.pack_efficiency() == pytest.approx(900 / 3100)
+
+    def test_fleet_counters_zero_without_streams(self):
+        fleet = ReplicaSetResult(replicas=[OrchestratorResult(makespan=1.0)])
+        assert fleet.padding_waste() == 0.0
+        assert fleet.bubble_rate() == 0.0
+        assert fleet.pack_efficiency() == 0.0
+
+
 class TestCalibrationAggregates:
     def test_ratio_and_error(self):
         result = OrchestratorResult(

@@ -107,6 +107,28 @@ def test_canonical_collapse_is_behaviorally_exact(trace, config):
     assert original == collapsed
 
 
+def test_packing_collapses_only_on_singleton_traces():
+    config = ServeConfig(packing="knapsack")
+    assert canonical(config, False, multi_tenant=False).packing == "arrival"
+    assert canonical(config, False, multi_tenant=True).packing == "knapsack"
+    # Default keeps the axis (the conservative choice).
+    assert canonical(config, False).packing == "knapsack"
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(trace=traces())
+def test_single_tenant_packing_collapse_is_behaviorally_exact(trace):
+    # Exactness of the singleton-trace identity: a knapsack config and
+    # its arrival-order representative replay to identical points.
+    solo = [trace[0]]
+    config = ServeConfig(packing="knapsack", routing="packing_affinity")
+    representative = canonical(config, False, multi_tenant=False)
+    assert representative.packing == "arrival"
+    original, _ = evaluate(config, solo, cost=COST, scheduler=SCHED)
+    collapsed, _ = evaluate(representative, solo, cost=COST, scheduler=SCHED)
+    assert original == collapsed
+
+
 @settings(max_examples=6, deadline=None, derandomize=True)
 @given(trace=traces())
 def test_optimistic_point_lower_bounds_every_simulated_run(trace):
