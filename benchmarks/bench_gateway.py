@@ -1,0 +1,237 @@
+"""Live gateway door under sustained load and a 10x overload burst.
+
+The :class:`~repro.serve.gateway.ServeGateway` promises two things under
+pressure: the door stays *fast* (admission latency is a handful of
+microseconds of ledger work, not a fleet replan) and *honest* (every
+refusal lands in the :class:`~repro.serve.metrics.GatewayStats` ledger,
+every acceptance survives to a finished fleet record).  This bench
+drives two scripted sessions against one door configuration:
+
+* ``steady`` -- Poisson arrivals at roughly half the aggregate
+  token-bucket rate, the regime the door was provisioned for.
+* ``burst-10x`` -- the same door at ten times the steady offered rate;
+  the bucket and queue bound must shed most of it, and the tail
+  admission latency must stay bounded *while* shedding.
+
+Virtual time is a seeded :class:`~repro.serve.ManualClock` (the door's
+rate/quota decisions are deterministic per seed); wall-clock throughput
+and admission latency are real ``perf_counter`` measurements.  Gates
+(re-checked against the committed table by
+``scripts/check_bench_results.py``):
+
+* every scenario sustains at least ``SUBMIT_RATE_FLOOR`` wall-clock
+  submits per second through the live door;
+* p99 admission latency stays under ``P99_LATENCY_CEILING`` seconds,
+  overloaded or not;
+* **zero admitted jobs lost** -- every released submission has a
+  finished fleet record after the drain;
+* the shed count equals the backpressure ledger -- refusals returned to
+  callers and ``GatewayStats.sheds`` are the same tally, and
+  ``submitted == accepted + shed``.
+
+Run under pytest (the default seed) or standalone:
+
+    PYTHONPATH=src:. python benchmarks/bench_gateway.py --seed 13
+"""
+
+import argparse
+import asyncio
+import time
+
+import numpy as np
+
+from benchmarks.common import fmt_row, write_table
+from repro.data.dataset import FinetuneDataset, Sample
+from repro.gpu import H100
+from repro.models import LLAMA3_8B
+from repro.models.layer_costs import LayerCostModel
+from repro.scheduler import AdapterJob, SchedulerConfig
+from repro.serve import GatewayOverload, ManualClock, ServeConfig
+from repro.serve.metrics import JobOutcome
+
+NUM_STAGES = 2
+CAPACITY = 8192
+DEFAULT_SEED = 11
+#: Tenants sharing the door; each gets its own token bucket and queue.
+TENANTS = ("acme", "globex", "initech", "umbrella")
+#: Distinct sample-length values across the tenant population (shared
+#: lengths share a ``TenantProfile``, so the bench times the door, not
+#: cold cost-model pricing).
+NUM_PROFILES = 16
+#: Per-tenant token-bucket refill rate, virtual arrivals/second.
+GATE_RATE = 40.0
+#: Token-bucket burst allowance.
+GATE_BURST = 8.0
+#: Per-tenant backlog bound behind the door.
+QUEUE_BOUND = 32
+#: Steady offered load: half the aggregate bucket rate, so the door
+#: sheds (almost) nothing and the bench times the accept path.
+STEADY_RATE = 0.5 * GATE_RATE * len(TENANTS)
+#: (name, submissions, offered-load multiplier over ``STEADY_RATE``).
+SCENARIOS = (
+    ("steady", 400, 1.0),
+    ("burst-10x", 400, 10.0),
+)
+#: Minimum wall-clock submissions/second through the live door.
+SUBMIT_RATE_FLOOR = 200.0
+#: Maximum p99 wall-clock admission latency, seconds (any decision --
+#: accept or shed -- must be bounded even mid-overload).
+P99_LATENCY_CEILING = 0.050
+
+COST = LayerCostModel(LLAMA3_8B, H100, strategy="fused_multi")
+SCHED = SchedulerConfig(capacity=CAPACITY, num_stages=NUM_STAGES,
+                        use_milp=False)
+
+
+def door_config():
+    """The one door every scenario runs against."""
+    return ServeConfig(
+        num_replicas=2,
+        slots=4,
+        window_batches=1,
+        gateway_rate=GATE_RATE,
+        gateway_burst=GATE_BURST,
+        gateway_queue_bound=QUEUE_BOUND,
+    )
+
+
+def make_jobs(num_jobs, seed):
+    """One-global-batch tenants drawn from a small pool of lengths."""
+    rng = np.random.default_rng(seed)
+    pool = rng.integers(64, 512, size=NUM_PROFILES)
+    return [
+        AdapterJob(
+            a,
+            FinetuneDataset(a, [Sample(a, 0, int(pool[a % NUM_PROFILES]))]),
+            1,
+        )
+        for a in range(num_jobs)
+    ]
+
+
+def serve(num_jobs, offered_rate, seed):
+    """Drive one live session; return (result, caller-seen sheds, seconds).
+
+    ``seconds`` covers the submit loop only -- the wall-clock cost of
+    pushing ``num_jobs`` arrivals through the door -- not the drain.
+    """
+    jobs = make_jobs(num_jobs, seed + 10)
+    gaps = np.random.default_rng(seed).exponential(
+        1.0 / offered_rate, size=num_jobs
+    )
+
+    async def drive():
+        clock = ManualClock()
+        gateway = door_config().build_gateway(COST, SCHED, clock=clock)
+        refused = 0
+        start = time.perf_counter()
+        for a, job in enumerate(jobs):
+            clock.advance(float(gaps[a]))
+            outcome = await gateway.submit(
+                job, tenant=TENANTS[a % len(TENANTS)]
+            )
+            if isinstance(outcome, GatewayOverload):
+                refused += 1
+        elapsed = time.perf_counter() - start
+        result = await gateway.drain()
+        return result, refused, elapsed
+
+    return asyncio.run(drive())
+
+
+def sweep(seed=DEFAULT_SEED):
+    results = {}
+    for name, num_jobs, multiplier in SCENARIOS:
+        result, refused, elapsed = serve(
+            num_jobs, STEADY_RATE * multiplier, seed
+        )
+        stats = result.stats
+        # The honesty gates are structural -- assert them at run time
+        # too, not just against the committed table.
+        assert stats.submitted == num_jobs
+        assert refused == stats.shed_total(), name
+        assert stats.submitted == stats.accepted + stats.shed_total(), name
+        finished = sum(
+            1
+            for record in result.records.values()
+            if record.outcome is JobOutcome.FINISHED
+        )
+        results[name] = {
+            "jobs": num_jobs,
+            "offered": STEADY_RATE * multiplier,
+            "accepted": stats.accepted,
+            "shed": stats.shed_total(),
+            "lost": stats.released - finished,
+            "p99_ms": result.admission_latency_percentiles()["p99"] * 1e3,
+            "submit_rate": num_jobs / elapsed,
+        }
+    return results
+
+
+def report(results, seed):
+    widths = [11, 6, 9, 10, 6, 6, 8, 9]
+    lines = [
+        f"Live gateway door under load (seed {seed}, {len(TENANTS)} "
+        f"tenants, bucket {GATE_RATE:g}/s burst {GATE_BURST:g}, queue "
+        f"bound {QUEUE_BOUND}, LLaMa-8B)",
+        fmt_row(
+            ["scenario", "jobs", "offered", "accepted", "shed", "lost",
+             "p99_ms", "submit/s"],
+            widths,
+        ),
+    ]
+    for name, row in results.items():
+        lines.append(
+            fmt_row(
+                [
+                    name,
+                    row["jobs"],
+                    f"{row['offered']:.0f}",
+                    row["accepted"],
+                    row["shed"],
+                    row["lost"],
+                    f"{row['p99_ms']:.3f}",
+                    f"{row['submit_rate']:.0f}",
+                ],
+                widths,
+            )
+        )
+    write_table("gateway", lines)
+
+
+def check(results):
+    for name, row in results.items():
+        assert row["lost"] == 0, f"{name} lost {row['lost']} admitted job(s)"
+        assert row["submit_rate"] >= SUBMIT_RATE_FLOOR, (
+            f"{name} sustained {row['submit_rate']:.0f} submits/s, below "
+            f"the {SUBMIT_RATE_FLOOR:.0f}/s floor"
+        )
+        assert row["p99_ms"] <= P99_LATENCY_CEILING * 1e3, (
+            f"{name} p99 admission latency {row['p99_ms']:.3f} ms left "
+            f"the {P99_LATENCY_CEILING * 1e3:.0f} ms ceiling"
+        )
+    steady, burst = (results[name] for name, _, _ in SCENARIOS)
+    # The burst scenario must actually exercise backpressure, and the
+    # door must shed *more* of the 10x load, not admit it all.
+    assert burst["shed"] > steady["shed"]
+    assert burst["shed"] > 0
+
+
+def test_gateway(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(results, DEFAULT_SEED)
+    check(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="workload + arrival seed")
+    args = parser.parse_args()
+    results = sweep(args.seed)
+    report(results, args.seed)
+    check(results)
+
+
+if __name__ == "__main__":
+    main()

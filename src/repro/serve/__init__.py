@@ -117,6 +117,27 @@ contracts):
   * :class:`ReclamationNotice` -- a scripted spot reclamation: notice
     time, replicas taken, evacuation grace period.
 
+**Live gateway** (``docs/serving.md`` section "Live gateway")
+  * :class:`ServeGateway` -- the asyncio front door: wall-clock
+    submissions stamped onto virtual time, four door checks (rate,
+    queue bound, fairness quota, deadline feasibility), cancellable
+    hold window, and a recorded trace that replays bit-identically
+    through the sim path.
+  * :class:`GatewayLimits` -- the door's protection knobs (all off by
+    default).
+  * :class:`GatewayTicket` / :class:`GatewayOverload` -- the two submit
+    outcomes: accepted, or shed ``429``-style with a reason from
+    :data:`SHED_REASONS`.
+  * :class:`GatewayResult` -- a drained session: the fleet result plus
+    the door's ledger.
+  * :class:`GatewayStats` -- that ledger: accept/shed/cancel counts and
+    wall-clock admission latencies.
+  * :class:`FleetSession` -- the incremental fleet loop under the
+    gateway (ingest / advance / finish on the event kernel).
+  * :class:`WallClock` / :class:`ManualClock` -- virtual-time sources:
+    scaled wall clock for live runs, scripted clock for deterministic
+    tests.
+
 **Metrics** (``docs/serving.md`` section "Metrics")
   * :class:`JobRecord` -- one job's lifecycle timestamps and totals.
   * :class:`OrchestratorResult` -- one pipeline's run: latency views,
@@ -164,6 +185,16 @@ from repro.serve.costing import (
     TenantProfile,
 )
 from repro.serve.events import Event, EventKernel, EventKind
+from repro.serve.gateway import (
+    SHED_REASONS,
+    GatewayLimits,
+    GatewayOverload,
+    GatewayResult,
+    GatewayTicket,
+    ManualClock,
+    ServeGateway,
+    WallClock,
+)
 from repro.serve.executors import (
     Executor,
     NumericExecutor,
@@ -171,7 +202,12 @@ from repro.serve.executors import (
     StreamingSimExecutor,
 )
 from repro.serve.jobs import JobOutcome, ServeJob, poisson_workload
-from repro.serve.metrics import JobRecord, OrchestratorResult, ReplicaSetResult
+from repro.serve.metrics import (
+    GatewayStats,
+    JobRecord,
+    OrchestratorResult,
+    ReplicaSetResult,
+)
 from repro.serve.orchestrator import (
     AdaptiveWindowConfig,
     MigrationTicket,
@@ -187,7 +223,7 @@ from repro.serve.ordering import (
     SRPTOrdering,
     policy_keys,
 )
-from repro.serve.replicaset import ReplicaSet, ReplicaSetConfig
+from repro.serve.replicaset import FleetSession, ReplicaSet, ReplicaSetConfig
 from repro.serve.router import (
     CostAwareRouting,
     FleetArrays,
@@ -219,11 +255,18 @@ __all__ = [
     "FCFSOrdering",
     "FleetArrays",
     "FleetAutoscaler",
+    "FleetSession",
     "GPU_HOURLY_RATE",
+    "GatewayLimits",
+    "GatewayOverload",
+    "GatewayResult",
+    "GatewayStats",
+    "GatewayTicket",
     "JobOutcome",
     "JobRecord",
     "JobView",
     "LeastLoadedRouting",
+    "ManualClock",
     "MemoryAdmission",
     "MigrationTicket",
     "NumericExecutor",
@@ -244,8 +287,10 @@ __all__ = [
     "ReplicaView",
     "RoundRobinRouting",
     "RoutingPolicy",
+    "SHED_REASONS",
     "SRPTOrdering",
     "ServeConfig",
+    "ServeGateway",
     "ServeJob",
     "SlotAdmission",
     "StepEvent",
@@ -253,6 +298,7 @@ __all__ = [
     "StreamingSimExecutor",
     "TenantProfile",
     "TenantRouter",
+    "WallClock",
     "poisson_workload",
     "policy_keys",
 ]

@@ -33,6 +33,7 @@ from repro.serve.ordering import JobView
 
 if TYPE_CHECKING:
     from repro.serve.costing import CostEstimator, TenantProfile
+    from repro.serve.jobs import ServeJob
 
 __all__ = [
     "AdmissionPolicy",
@@ -258,3 +259,43 @@ class DeadlineFeasibilityAdmission:
             return True
         queued = backlog if self.queueing_aware else 0.0
         return now + queued + self.slack * view.remaining_seconds <= view.deadline
+
+    def feasible_arrival(
+        self,
+        job: "ServeJob",
+        now: float,
+        estimator: "CostEstimator | None",
+        backlog: float = 0.0,
+    ) -> bool:
+        """Price a raw arrival at the door and test its feasibility.
+
+        The gateway-facing form of :meth:`feasible`: the live gateway
+        (:class:`~repro.serve.gateway.ServeGateway`) holds a
+        :class:`~repro.serve.jobs.ServeJob`, not an orchestrator-priced
+        :class:`~repro.serve.ordering.JobView`, so this builds the view
+        itself -- full remaining batches, expected service seconds from
+        ``estimator`` -- and delegates.  With no estimator (or no
+        deadline on the job) the arrival is feasible: the door never
+        sheds on a quantity it cannot measure, matching
+        :meth:`feasible`'s refusal to guess.
+
+        Args:
+            job: The raw submission (its ``deadline`` and full batch
+                count are read off the job itself).
+            now: Current virtual time (the submission stamp).
+            estimator: The fleet's pricing model, or ``None``.
+            backlog: Seconds of work already queued ahead of the
+                arrival; charged only with ``queueing_aware`` on.
+        """
+        if job.deadline is None or estimator is None:
+            return True
+        view = JobView(
+            adapter_id=job.adapter_id,
+            arrival_time=job.arrival_time,
+            priority=job.priority,
+            deadline=job.deadline,
+            remaining_batches=job.job.num_global_batches(),
+            admitted=False,
+            remaining_seconds=estimator.job_seconds(job.job),
+        )
+        return self.feasible(view, now, backlog)

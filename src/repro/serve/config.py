@@ -32,6 +32,7 @@ from repro.serve.admission import DeadlineFeasibilityAdmission, SlotAdmission
 from repro.serve.autoscaler import CapacityPool, FleetAutoscaler
 from repro.serve.costing import CalibrationTracker, CostEstimator
 from repro.serve.executors import Executor, StreamingSimExecutor
+from repro.serve.gateway import GatewayLimits, ServeGateway, VirtualClock
 from repro.serve.orchestrator import AdaptiveWindowConfig, OrchestratorConfig
 from repro.serve.ordering import (
     DeadlineOrdering,
@@ -153,6 +154,22 @@ class ServeConfig:
             fragmentation-biased admission ties, and (with the
             ``packing_affinity`` routing) estimator-priced replica
             placement.
+        gateway_rate: Per-tenant token-bucket refill of the live
+            gateway's door (submissions per virtual second); ``None``
+            disables rate limiting.  The gateway knobs parameterize
+            :meth:`build_gateway` only -- they are deliberately *not* an
+            autotuner axis (the tuner replays traces, and a trace never
+            meets the door), but they live on the bundle so a deployed
+            gateway's limits serialize, label, and round-trip with the
+            rest of its configuration.
+        gateway_burst: Token-bucket capacity of the door.
+        gateway_queue_bound: Maximum in-flight submissions per tenant at
+            the door; ``None`` disables the bound.
+        gateway_fairness: Maximum fraction of the total ingress backlog
+            one tenant may hold while others wait; ``None`` disables the
+            quota.
+        gateway_hold: Virtual seconds an accepted submission stays held
+            (cancellable) at the door before release into the fleet.
     """
 
     num_replicas: int = 1
@@ -171,6 +188,11 @@ class ServeConfig:
     autoscale_budget: float | None = None
     calibrated: bool = False
     packing: str = "arrival"
+    gateway_rate: float | None = None
+    gateway_burst: float = 4.0
+    gateway_queue_bound: int | None = None
+    gateway_fairness: float | None = None
+    gateway_hold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.packing not in PACKING_SCHEMES:
@@ -209,6 +231,9 @@ class ServeConfig:
                     "autoscale_budget cannot cover the initial fleet "
                     f"({self.autoscale_budget} < {committed} $/hour)"
                 )
+        # GatewayLimits owns the gateway-knob invariants; constructing it
+        # here validates the bundle's gateway fields in one place.
+        self.gateway_limits()
 
     # -- serialization ------------------------------------------------------
 
@@ -246,6 +271,14 @@ class ServeConfig:
             parts.append("cal")
         if self.packing == "knapsack":
             parts.append("knap")
+        if self.gateway_rate is not None:
+            parts.append(f"gwr{self.gateway_rate:g}b{self.gateway_burst:g}")
+        if self.gateway_queue_bound is not None:
+            parts.append(f"gwq{self.gateway_queue_bound}")
+        if self.gateway_fairness is not None:
+            parts.append(f"gwf{self.gateway_fairness:g}")
+        if self.gateway_hold:
+            parts.append(f"gwh{self.gateway_hold:g}")
         return "-".join(parts)
 
     # -- construction -------------------------------------------------------
@@ -353,3 +386,45 @@ class ServeConfig:
             for _ in range(self.num_replicas)
         ]
         return executors, config
+
+    def gateway_limits(self) -> GatewayLimits:
+        """The bundle's gateway knobs as a
+        :class:`~repro.serve.gateway.GatewayLimits` (validated there)."""
+        return GatewayLimits(
+            queue_bound=self.gateway_queue_bound,
+            rate=self.gateway_rate,
+            burst=self.gateway_burst,
+            fairness_share=self.gateway_fairness,
+            ingress_hold=self.gateway_hold,
+        )
+
+    def build_gateway(
+        self,
+        cost: LayerCostModel,
+        scheduler: SchedulerConfig,
+        clock: VirtualClock | None = None,
+    ) -> ServeGateway:
+        """Materialize the bundle as a live serving gateway.
+
+        :meth:`build` plus the front door: constructs the fleet exactly
+        as :meth:`build` would (the event kernel; a gateway needs the
+        incremental loop), wraps it in a fresh
+        :class:`~repro.serve.replicaset.ReplicaSet`, and opens a
+        :class:`~repro.serve.gateway.ServeGateway` on it with this
+        bundle's :meth:`gateway_limits`.
+
+        Args:
+            cost: Stage-cost model the executors simulate against.
+            scheduler: Intra-replica scheduler configuration.
+            clock: Virtual-time source for the gateway; a 1:1
+                :class:`~repro.serve.gateway.WallClock` when omitted.
+        """
+        from repro.serve.replicaset import ReplicaSet
+
+        executors, config = self.build(cost, scheduler)
+        replica_set = ReplicaSet(executors=executors, config=config)
+        if clock is None:
+            return ServeGateway(replica_set, limits=self.gateway_limits())
+        return ServeGateway(
+            replica_set, limits=self.gateway_limits(), clock=clock
+        )

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import math
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -79,6 +80,11 @@ class EventKind(enum.IntEnum):
     pre-existing kind still resolves first -- an arrival landing at the
     same instant a replica joins is routed over the fleet as it was
     *before* the join took effect.
+
+    The gateway kind (:attr:`GATEWAY_INGRESS`) follows the same append
+    discipline: it comes **after** the original eight, so every trace
+    that never touches the live gateway -- every sim run, every
+    committed benchmark -- replays with byte-identical pop order.
     """
 
     #: A job reaching the fleet: route it, offer it to a replica.
@@ -103,6 +109,12 @@ class EventKind(enum.IntEnum):
     #: A reclaimed replica's grace period expires: whatever is still
     #: resident is force-evacuated at a step boundary (never lost).
     RECLAIM_DEADLINE = 7
+    #: A live submission the serving gateway released into the fleet:
+    #: routed and offered exactly like an :attr:`ARRIVAL`, but carrying
+    #: its own kind so a recorded gateway session is distinguishable
+    #: from a pre-generated trace (and so non-gateway traces, which
+    #: never create this kind, replay byte-identical).
+    GATEWAY_INGRESS = 8
 
 
 @dataclass
@@ -240,6 +252,24 @@ class EventKernel:
         Returns:
             The next event, or ``None`` when nothing live remains.
         """
+        return self.pop_until(math.inf)
+
+    def pop_until(self, frontier: float = math.inf) -> Event | None:
+        """The next live event whose timestamp is at or before ``frontier``.
+
+        The incremental form of :meth:`pop`, for drivers that interleave
+        event processing with live ingestion (the serving gateway pumps
+        the fleet only up to each submission's wall-clock-derived
+        stamp).  The immediate lane always drains -- posted control work
+        runs "now" regardless of any frontier -- but a timed event is
+        handed out only when its timestamp is ``<= frontier``; later
+        events stay queued for a future call, and :attr:`now` does not
+        advance until one of them is actually popped.
+
+        Returns:
+            The next live event at or before ``frontier``, or ``None``
+            when none is due yet (or nothing live remains).
+        """
         while self._soon:
             event = self._soon.popleft()
             if event.cancelled:
@@ -248,13 +278,33 @@ class EventKernel:
             self.processed[event.kind] += 1
             return event
         while self._heap:
-            time, _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
+            if self._heap[0][3].cancelled:
+                heapq.heappop(self._heap)
                 continue
+            time = self._heap[0][0]
+            if time > frontier:
+                return None
+            _, _, _, event = heapq.heappop(self._heap)
             self._live -= 1
             self.now = time
             self.processed[event.kind] += 1
             return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, without popping it.
+
+        A live immediate-lane event reports :attr:`now` (posted work
+        fires "now" by construction).  Cancelled heap heads are pruned
+        in passing.  ``None`` when nothing live remains.
+        """
+        for event in self._soon:
+            if not event.cancelled:
+                return self.now
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0][0]
         return None
 
     def __len__(self) -> int:

@@ -58,6 +58,11 @@ class ServeJob:
         deadline: Virtual time the job should finish by, for
             deadline-driven ordering and the deadline-miss-rate metric
             (``None`` = no deadline).
+        tenant: Billing identity the live gateway
+            (:class:`~repro.serve.gateway.ServeGateway`) rate-limits and
+            quota-checks the submission under.  Purely gateway-side
+            metadata: the fleet routes on ``adapter_id`` and ignores it,
+            so sim traces (which leave it ``None``) are unaffected.
     """
 
     job: AdapterJob
@@ -65,6 +70,7 @@ class ServeJob:
     numeric: NumericJob | None = None
     priority: int = 0
     deadline: float | None = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:

@@ -30,7 +30,75 @@ from dataclasses import dataclass, field
 from repro.errors import ScheduleError
 from repro.serve.jobs import JobOutcome
 
-__all__ = ["JobRecord", "OrchestratorResult", "ReplicaSetResult"]
+__all__ = ["GatewayStats", "JobRecord", "OrchestratorResult", "ReplicaSetResult"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 on an empty list).
+
+    Deterministic and interpolation-free -- the convention latency
+    dashboards use, chosen here so committed benchmark tables are
+    byte-stable across numpy versions.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ScheduleError("a percentile rank must lie in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class GatewayStats:
+    """Ingress-side ledger of one live gateway session.
+
+    Counts every door decision the
+    :class:`~repro.serve.gateway.ServeGateway` made, so overload
+    shedding is auditable instead of silent.  The conservation identity
+    -- ``submitted == accepted + shed_total()`` and ``accepted ==
+    released + cancelled`` once the session is drained -- is asserted by
+    ``tests/serve/test_gateway.py`` and gated (together with "zero
+    admitted jobs lost") by ``benchmarks/bench_gateway.py``.
+
+    Attributes:
+        submitted: Submissions that reached the gateway door.
+        accepted: Submissions that passed every door check (rate,
+            quota, queue bound, deadline feasibility).
+        released: Accepted submissions handed to the fleet (every
+            accepted job is released unless cancelled first).
+        cancelled: Accepted submissions cancelled inside their ingress
+            hold window, before release.
+        sheds: Refusals by reason (the
+            :data:`~repro.serve.gateway.SHED_REASONS` taxonomy); the
+            backpressure ledger.
+        admission_latencies: Wall-clock seconds the gateway spent
+            deciding each submission (accepted or shed) -- the real
+            ingress overhead, not virtual time.
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    released: int = 0
+    cancelled: int = 0
+    sheds: dict[str, int] = field(default_factory=dict)
+    admission_latencies: list[float] = field(default_factory=list)
+
+    def shed_total(self) -> int:
+        """Refused submissions across all reasons."""
+        return sum(self.sheds.values())
+
+    def admission_latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the admission latencies, seconds."""
+        return _percentile(self.admission_latencies, q)
+
+    def admission_latency_percentiles(self) -> dict[str, float]:
+        """The dashboard trio -- p50 / p90 / p99 -- in seconds."""
+        return {
+            "p50": self.admission_latency_percentile(50.0),
+            "p90": self.admission_latency_percentile(90.0),
+            "p99": self.admission_latency_percentile(99.0),
+        }
 
 
 @dataclass
@@ -414,6 +482,11 @@ class ReplicaSetResult(_LatencyAggregates):
             retirement, idle or not).
         dollars_spent: ``gpu_seconds`` priced at each replica's
             $/GPU-hour pool rate.
+        gateway: The ingress ledger (:class:`GatewayStats`) when the run
+            was served through the live gateway
+            (:class:`~repro.serve.gateway.ServeGateway`), folding
+            admission-latency percentiles and shed counts into the fleet
+            result; ``None`` for sim runs.
     """
 
     replicas: list[OrchestratorResult] = field(default_factory=list)
@@ -431,6 +504,7 @@ class ReplicaSetResult(_LatencyAggregates):
     replica_intervals: list[tuple[float, float]] = field(default_factory=list)
     gpu_seconds: float = 0.0
     dollars_spent: float = 0.0
+    gateway: GatewayStats | None = None
 
     def __post_init__(self) -> None:
         if not self.replicas:

@@ -74,7 +74,7 @@ from repro.serve.router import (
     TenantRouter,
 )
 
-__all__ = ["ReplicaSetConfig", "ReplicaSet"]
+__all__ = ["ReplicaSetConfig", "ReplicaSet", "FleetSession"]
 
 #: The fleet-loop implementations :attr:`ReplicaSetConfig.kernel` accepts.
 _KERNELS = ("event", "lockstep")
@@ -82,6 +82,32 @@ _KERNELS = ("event", "lockstep")
 #: A planned rebalance action: ``("migrate", adapter_id, source, target)``
 #: or ``("drain", source, migrant_or_None)``; ``None`` ends the pass.
 _RebalanceAction = tuple
+
+
+@dataclass
+class _EventDriver:
+    """The event fleet loop, packaged for incremental driving.
+
+    :meth:`ReplicaSet._event_driver` builds one: the kernel, the
+    dispatch closure over it, and the cached view/load state all live in
+    the closure scope, exactly as the batch loop had them.  ``run()``
+    ingests the whole workload and pumps to exhaustion; a
+    :class:`FleetSession` (the gateway's handle) ingests one job at a
+    time and pumps only to each submission's stamp.
+    """
+
+    #: The kernel the loop runs on (exposed for frontier introspection).
+    kernel: EventKernel
+    #: Live records by adapter id, filled as arrivals are offered.
+    records: dict[int, JobRecord]
+    #: Schedule one job's arrival event (``kind`` picks the taxonomy
+    #: entry: ARRIVAL for trace replay, GATEWAY_INGRESS for live).
+    ingest: Callable[[ServeJob, EventKind], None]
+    #: Process every due event with timestamp at or before ``frontier``.
+    pump: Callable[[float], None]
+    #: Close out the loop: verify no evacuated job is stranded, record
+    #: the per-kind event counts on the owning set.
+    finalize: Callable[[], None]
 
 
 @dataclass
@@ -366,7 +392,42 @@ class ReplicaSet:
         if self.config.kernel == "lockstep":
             self._run_lockstep(deque(arrivals))
         else:
-            self._run_event(arrivals)
+            driver = self._event_driver()
+            for job in arrivals:
+                driver.ingest(job, EventKind.ARRIVAL)
+            driver.pump(math.inf)
+            driver.finalize()
+        return self._assemble_result()
+
+    def open_session(self) -> FleetSession:
+        """Open the fleet for incremental, live-driven serving.
+
+        The session form of :meth:`run`, for callers that discover the
+        workload as it happens -- the live gateway
+        (:class:`~repro.serve.gateway.ServeGateway`).  Jobs are ingested
+        one at a time, the fleet is pumped only up to each caller-chosen
+        time frontier, and :meth:`FleetSession.finish` runs the loop to
+        exhaustion and assembles the same :class:`ReplicaSetResult` a
+        batch run would.  Requires ``kernel="event"`` (the lockstep
+        oracle has no incremental form) and consumes the set's single
+        shot, exactly like :meth:`run`.
+        """
+        if self.config.kernel != "event":
+            raise ScheduleError(
+                "a fleet session needs kernel='event'; the lockstep "
+                "oracle only runs complete traces"
+            )
+        if self._ran:
+            raise ScheduleError(
+                "ReplicaSet is single-shot; construct a fresh set"
+            )
+        self._ran = True
+        for replica in self.replicas:
+            replica.start([])
+        return FleetSession(self, self._event_driver())
+
+    def _assemble_result(self) -> ReplicaSetResult:
+        """Finish every replica and fold the run into one result."""
         results = [replica.finish() for replica in self.replicas]
         records: dict[int, JobRecord] = {}
         for result in results:
@@ -440,10 +501,18 @@ class ReplicaSet:
                 record.replica = index
             self._rebalance()
 
-    def _run_event(self, arrivals: list[ServeJob]) -> None:
-        """The discrete-event fleet loop (``config.kernel = "event"``).
+    def _event_driver(self) -> _EventDriver:
+        """Build the discrete-event fleet loop (``config.kernel = "event"``).
 
-        Arrivals are pre-scheduled on the heap (lane = adapter id, so
+        Returns the loop packaged as an :class:`_EventDriver`: ``run()``
+        ingests the sorted workload and pumps to exhaustion (the batch
+        trace-replay path), while a :class:`FleetSession` ingests live
+        submissions one at a time and pumps to each submission's stamp
+        -- the two paths share every line of dispatch, which is what
+        makes a recorded gateway session replay bit-identical through
+        the batch path.
+
+        Arrivals are scheduled on the heap (lane = adapter id, so
         simultaneous arrivals keep their sorted order); each working
         replica keeps exactly one WAVE_CLOSE event at its current
         clock, cancelled and rescheduled whenever an event mutates it.
@@ -466,6 +535,7 @@ class ReplicaSet:
         """
         kernel = EventKernel()
         n = len(self.replicas)
+        records: dict[int, JobRecord] = {}
         params = self._rebalance_params()
         estimator = self.config.orchestrator.estimator
         calibration = estimator.calibration if estimator is not None else None
@@ -618,11 +688,25 @@ class ReplicaSet:
                     lane=notice_lane,
                 )
 
-        for job in arrivals:
-            kernel.schedule(
-                job.arrival_time, EventKind.ARRIVAL, payload=job, lane=job.adapter_id
-            )
-        while (event := kernel.pop()) is not None:
+        def ingest(job: ServeJob, kind: EventKind) -> None:
+            kernel.schedule(job.arrival_time, kind, payload=job, lane=job.adapter_id)
+
+        def pump(frontier: float) -> None:
+            while (event := kernel.pop_until(frontier)) is not None:
+                dispatch(event)
+
+        def finalize() -> None:
+            if self._held:
+                raise ScheduleError(
+                    f"{len(self._held)} evacuated job(s) never found a new "
+                    "replica -- the fleet retired capacity it still needed"
+                )
+            self._events_processed = {
+                kind.name: count for kind, count in sorted(kernel.processed.items())
+            }
+
+        def dispatch(event: Event) -> None:
+            nonlocal loads
             kind = event.kind
             if kind is EventKind.WAVE_CLOSE:
                 index = event.payload
@@ -637,7 +721,9 @@ class ReplicaSet:
                         complete_retirement(index, event.time, reclaim=True)
                 if params is not None:
                     kernel.post(EventKind.REBALANCE, _RebalancePass())
-            elif kind is EventKind.ARRIVAL:
+            elif kind is EventKind.ARRIVAL or kind is EventKind.GATEWAY_INGRESS:
+                # A gateway ingress is an arrival wearing its own kind:
+                # same routing, same offer, same rebalance check.
                 job = event.payload
                 all_views = replica_views()
                 routable = self._routable()
@@ -649,6 +735,7 @@ class ReplicaSet:
                     )
                 record = self.replicas[index].offer(job)
                 record.replica = index
+                records[job.adapter_id] = record
                 resync(index)
                 if params is not None:
                     kernel.post(EventKind.REBALANCE, _RebalancePass())
@@ -666,7 +753,7 @@ class ReplicaSet:
                     None if len(routable) == len(self.replicas) else routable,
                 )
                 if action is None:
-                    continue
+                    return
                 if action[0] == "migrate":
                     kernel.post(EventKind.MIGRATION, action[1:] + (state,))
                 else:
@@ -780,14 +867,14 @@ class ReplicaSet:
                                 EventKind.REPLICA_RETIRE,
                                 ("scale", decision[1]),
                             )
-        if self._held:
-            raise ScheduleError(
-                f"{len(self._held)} evacuated job(s) never found a new "
-                "replica -- the fleet retired capacity it still needed"
-            )
-        self._events_processed = {
-            kind.name: count for kind, count in sorted(kernel.processed.items())
-        }
+
+        return _EventDriver(
+            kernel=kernel,
+            records=records,
+            ingest=ingest,
+            pump=pump,
+            finalize=finalize,
+        )
 
     # -- rebalancing --------------------------------------------------------
 
@@ -1026,3 +1113,72 @@ class ReplicaSet:
         else:
             ticket.record.migrations += 1
             self._migrations += 1
+
+
+class FleetSession:
+    """One incrementally-driven fleet run: the live gateway's handle.
+
+    Opened by :meth:`ReplicaSet.open_session`.  Where :meth:`ReplicaSet.run`
+    consumes a complete trace, a session discovers its workload as it
+    happens: each live submission is :meth:`ingest`-ed as a
+    :attr:`~repro.serve.events.EventKind.GATEWAY_INGRESS` event at its
+    virtual arrival stamp, and :meth:`advance` pumps the event loop only
+    up to the caller's current time frontier -- the fleet never runs
+    ahead of wall-clock-derived time.  Because the session shares every
+    dispatch line with the batch loop, replaying the ingested jobs as a
+    plain trace through a fresh :meth:`ReplicaSet.run` reproduces the
+    session's result bit-identically
+    (``tests/integration/test_gateway_conformance.py``).
+
+    The contract callers must keep: ``ingest`` a job only with
+    ``arrival_time`` at or after every frontier already passed to
+    :meth:`advance` -- the kernel pops events in global time order, so
+    an arrival scheduled behind an already-pumped frontier would replay
+    in a different position than it ran live.  The gateway enforces this
+    by stamping arrivals from its monotone submission clock.
+    """
+
+    def __init__(self, replica_set: ReplicaSet, driver: _EventDriver) -> None:
+        self._set = replica_set
+        self._driver = driver
+        self._ids: set[int] = set()
+        self._finished: ReplicaSetResult | None = None
+
+    def ingest(self, job: ServeJob) -> None:
+        """Schedule one live submission at its ``arrival_time``.
+
+        Raises:
+            ScheduleError: On a duplicate adapter id or a finished
+                session.
+        """
+        if self._finished is not None:
+            raise ScheduleError("the fleet session is finished")
+        if job.adapter_id in self._ids:
+            raise ScheduleError(
+                f"duplicate adapter id in session: {job.adapter_id}"
+            )
+        self._ids.add(job.adapter_id)
+        self._driver.ingest(job, EventKind.GATEWAY_INGRESS)
+
+    def advance(self, frontier: float) -> None:
+        """Pump every due event with timestamp at or before ``frontier``."""
+        if self._finished is not None:
+            raise ScheduleError("the fleet session is finished")
+        self._driver.pump(frontier)
+
+    def record(self, adapter_id: int) -> JobRecord | None:
+        """The live :class:`~repro.serve.metrics.JobRecord` of an ingested
+        job, or ``None`` while its ingress event is still queued."""
+        return self._driver.records.get(adapter_id)
+
+    def finish(self) -> ReplicaSetResult:
+        """Run the loop to exhaustion and assemble the fleet result.
+
+        Idempotent: the first call drains the kernel and finishes every
+        replica; later calls return the same result object.
+        """
+        if self._finished is None:
+            self._driver.pump(math.inf)
+            self._driver.finalize()
+            self._finished = self._set._assemble_result()
+        return self._finished

@@ -25,6 +25,9 @@ contracts):
     by axis.
   * :func:`single_policy_defaults` -- one-knob baseline configs the
     tuning benchmark gates the tuned pick against.
+  * :data:`NON_SEARCH_FIELDS` -- the config fields the space
+    deliberately never sweeps (the live gateway's door limits; trace
+    replay never meets the door).
 
 **Pruning** (``docs/tuning.md`` section "Analytic pruning")
   * :func:`canonical` -- collapse behaviorally equivalent candidates to
@@ -74,9 +77,15 @@ from repro.tune.runner import (
     recommend,
     tune,
 )
-from repro.tune.space import SearchSpace, default_space, single_policy_defaults
+from repro.tune.space import (
+    NON_SEARCH_FIELDS,
+    SearchSpace,
+    default_space,
+    single_policy_defaults,
+)
 
 __all__ = [
+    "NON_SEARCH_FIELDS",
     "ObjectivePoint",
     "PRUNE_SAFETY",
     "Recommendation",

@@ -23,7 +23,29 @@ from dataclasses import dataclass, fields
 
 from repro.serve.config import ServeConfig
 
-__all__ = ["SearchSpace", "default_space", "single_policy_defaults"]
+__all__ = [
+    "NON_SEARCH_FIELDS",
+    "SearchSpace",
+    "default_space",
+    "single_policy_defaults",
+]
+
+#: :class:`~repro.serve.config.ServeConfig` fields the search space
+#: deliberately does **not** sweep: the live gateway's door limits.  The
+#: tuner replays recorded traces, and a trace never meets the door --
+#: every gateway knob would multiply the product without changing a
+#: single replayed metric.  They stay on the bundle (so a deployed
+#: gateway's limits serialize and label with the rest of its
+#: configuration) and enumerated candidates carry their defaults.
+NON_SEARCH_FIELDS = frozenset(
+    {
+        "gateway_rate",
+        "gateway_burst",
+        "gateway_queue_bound",
+        "gateway_fairness",
+        "gateway_hold",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -35,7 +57,9 @@ class SearchSpace:
     describes exactly one config and widening any axis multiplies the
     product.  Axes default to the corresponding ``ServeConfig`` default
     as a single point, so a space only names the axes it actually
-    sweeps.
+    sweeps.  The gateway knobs (:data:`NON_SEARCH_FIELDS`) have no axis
+    at all: trace replay never exercises the door, so sweeping them
+    would only inflate the product.
 
     Attributes:
         fleet_sizes: Initial replica counts to try.

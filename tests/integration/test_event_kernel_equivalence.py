@@ -15,6 +15,7 @@ the equivalence on known-adversarial traces, and a repeat-run test pins
 byte-level determinism of the event kernel itself.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -154,6 +155,7 @@ job_specs = st.lists(
 )
 
 
+@pytest.mark.slow
 class TestRandomizedEquivalence:
     @given(specs=job_specs,
            num_replicas=st.integers(min_value=2, max_value=3),

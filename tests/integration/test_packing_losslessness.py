@@ -18,6 +18,7 @@ packing-affinity routing must replay **byte-identically** on
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -107,6 +108,7 @@ action_spec = st.tuples(
 )
 
 
+@pytest.mark.slow
 @settings(max_examples=8, deadline=None)
 @given(
     specs=st.lists(job_spec, min_size=2, max_size=3),
@@ -178,6 +180,7 @@ job_specs = st.lists(
 )
 
 
+@pytest.mark.slow
 class TestKnapsackKernelEquivalence:
     @given(specs=job_specs,
            num_replicas=st.integers(min_value=2, max_value=3))

@@ -18,6 +18,7 @@ searches the interleaving space around them.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -232,6 +233,7 @@ def fingerprint(records):
     }
 
 
+@pytest.mark.slow
 @settings(max_examples=12, deadline=None)
 @given(
     specs=st.lists(job_spec, min_size=2, max_size=3),

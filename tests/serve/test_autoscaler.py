@@ -378,3 +378,57 @@ class TestSpotReclamation:
         result = self.run_reclaim()
         moved = sum(r.migrations for r in result.records.values())
         assert moved + result.reroutes >= result.reclaims
+
+
+class TestElasticPackingIdentities:
+    """The packing counters' fleet aggregation identities must survive
+    elasticity: replicas that join mid-run (``REPLICA_JOIN``) and retire
+    early (``REPLICA_RETIRE``) contribute exactly their own streams --
+    no double counting at scale events, no phantom slots from retired
+    pipelines."""
+
+    def run_elastic(self):
+        workload = poisson_workload(make_jobs(160, 17), rate=120.0, rng=7)
+        result = elastic_set(make_scaler()).run(workload)
+        # The run must actually exercise both scale directions, or the
+        # identities below would be the fixed-fleet ones in disguise.
+        assert result.joins >= 1 and result.retires >= 1
+        assert "REPLICA_JOIN" in result.events_processed
+        assert "REPLICA_RETIRE" in result.events_processed
+        return result
+
+    def test_padding_waste_is_the_merged_stream_identity(self):
+        result = self.run_elastic()
+        tokens = sum(r.total_tokens for r in result.replicas)
+        padded = sum(r.total_padded_tokens for r in result.replicas)
+        assert padded > 0
+        assert result.total_padded_tokens == padded
+        assert result.padding_waste() == pytest.approx(1.0 - tokens / padded)
+
+    def test_bubble_rate_is_the_merged_stream_identity(self):
+        result = self.run_elastic()
+        noops = sum(r.noop_microbatches for r in result.replicas)
+        slots = sum(r.total_microbatches for r in result.replicas)
+        assert slots > 0
+        assert result.bubble_rate() == pytest.approx(noops / slots)
+
+    def test_pack_efficiency_is_the_budget_weighted_identity(self):
+        result = self.run_elastic()
+        budget = sum(
+            r.capacity * (r.total_microbatches - r.noop_microbatches)
+            for r in result.replicas
+        )
+        tokens = sum(r.total_tokens for r in result.replicas)
+        assert budget > 0
+        assert result.pack_efficiency() == pytest.approx(tokens / budget)
+        # With one uniform capacity the fleet number is also the merged
+        # per-replica mean, weighted by each replica's real slots.
+        weights = [
+            r.total_microbatches - r.noop_microbatches
+            for r in result.replicas
+        ]
+        merged = sum(
+            r.pack_efficiency() * w
+            for r, w in zip(result.replicas, weights)
+        ) / sum(weights)
+        assert result.pack_efficiency() == pytest.approx(merged)

@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import ScheduleError
 from repro.serve import ServeConfig
-from repro.tune import SearchSpace, default_space, single_policy_defaults
+from repro.tune import (
+    NON_SEARCH_FIELDS,
+    SearchSpace,
+    default_space,
+    single_policy_defaults,
+)
 
 
 class TestServeConfig:
@@ -50,6 +55,72 @@ class TestServeConfig:
     def test_invalid_bundles_are_rejected(self, kwargs):
         with pytest.raises(ScheduleError):
             ServeConfig(**kwargs)
+
+    # One non-default value per field (plus the companions validation
+    # demands), so the round-trip test below touches every field the
+    # bundle will ever serialize -- a new field cannot land without a
+    # round-trip entry.
+    NON_DEFAULTS = {
+        "num_replicas": {"num_replicas": 3},
+        "routing": {"routing": "cost_aware"},
+        "ordering": {"ordering": "deadline"},
+        "preemptive": {"preemptive": True},
+        "aging_rate": {"ordering": "srpt", "aging_rate": 0.5},
+        "slots": {"slots": 5},
+        "deadline_gate": {"deadline_gate": True},
+        "gate_slack": {"deadline_gate": True, "gate_slack": 1.3},
+        "queueing_aware": {"deadline_gate": True, "queueing_aware": True},
+        "window_batches": {"window_batches": 4},
+        "adaptive_window": {"adaptive_window": True},
+        "migration_time_threshold": {"migration_time_threshold": 2.5},
+        "drain_then_migrate": {
+            "migration_time_threshold": 2.5,
+            "drain_then_migrate": True,
+        },
+        "autoscale_budget": {"autoscale_budget": 40.0},
+        "calibrated": {"calibrated": True},
+        "packing": {"packing": "knapsack"},
+        "gateway_rate": {"gateway_rate": 2.5},
+        "gateway_burst": {"gateway_burst": 7.0},
+        "gateway_queue_bound": {"gateway_queue_bound": 12},
+        "gateway_fairness": {"gateway_fairness": 0.35},
+        "gateway_hold": {"gateway_hold": 0.75},
+    }
+
+    def test_every_config_field_has_a_round_trip_entry(self):
+        assert set(self.NON_DEFAULTS) == set(ServeConfig.__dataclass_fields__)
+
+    @pytest.mark.parametrize("field", sorted(NON_DEFAULTS))
+    def test_round_trip_and_label_are_stable_per_field(self, field):
+        import json
+
+        kwargs = self.NON_DEFAULTS[field]
+        config = ServeConfig(**kwargs)
+        assert getattr(config, field) != ServeConfig.__dataclass_fields__[
+            field
+        ].default
+        rebuilt = ServeConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        # label() must be byte-for-byte stable across the round trip --
+        # artifacts key on it -- and survive a JSON round trip too.
+        assert rebuilt.label() == config.label()
+        json_rebuilt = ServeConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert json_rebuilt == config
+        assert json_rebuilt.label() == config.label()
+
+    def test_gateway_knobs_are_label_visible(self):
+        # Two bundles differing only in a gateway knob must label apart,
+        # or a deployed gateway's artifact would alias the plain one.
+        base = ServeConfig()
+        for field in (
+            "gateway_rate",
+            "gateway_queue_bound",
+            "gateway_fairness",
+            "gateway_hold",
+        ):
+            assert ServeConfig(**self.NON_DEFAULTS[field]).label() != base.label()
 
     def test_label_is_distinct_across_knobs(self):
         configs = [
@@ -105,10 +176,22 @@ class TestSearchSpace:
         assert len(default_space().candidates()) == 72
 
     def test_axes_cover_every_config_field(self):
+        # Every ServeConfig field is either a search axis or an explicit
+        # member of the non-searched set (the gateway door knobs, which
+        # trace replay never exercises) -- a new field cannot land
+        # without a conscious decision either way.
         axes = default_space().axes()
-        assert len(axes) == len(ServeConfig.__dataclass_fields__)
+        fields = set(ServeConfig.__dataclass_fields__)
+        assert NON_SEARCH_FIELDS <= fields
+        assert len(axes) == len(fields - NON_SEARCH_FIELDS)
         for values in axes.values():
             assert isinstance(values, tuple) and values
+
+    def test_non_search_fields_keep_their_defaults(self):
+        for config in default_space().candidates():
+            for name in NON_SEARCH_FIELDS:
+                default = ServeConfig.__dataclass_fields__[name].default
+                assert getattr(config, name) == default
 
     def test_every_candidate_is_buildable(self):
         # Validation already ran in __post_init__; spot-check the
